@@ -1,0 +1,117 @@
+// Appendix C.4 timing analysis as a google-benchmark suite: the cost of the
+// individual AGM-DP components (truncation, Q_F counting, constrained
+// inference, triangle counting, the Ladder mechanism, structural sampling
+// and the end-to-end pipeline) on a mid-size stand-in.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <vector>
+
+#include "src/agm/agm_dp.h"
+#include "src/agm/theta_f.h"
+#include "src/datasets/datasets.h"
+#include "src/dp/constrained_inference.h"
+#include "src/dp/edge_truncation.h"
+#include "src/dp/ladder_mechanism.h"
+#include "src/graph/degree.h"
+#include "src/graph/triangle_count.h"
+#include "src/models/chung_lu.h"
+#include "src/models/tricycle.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace agmdp;
+
+const graph::AttributedGraph& Input() {
+  static const graph::AttributedGraph* g = [] {
+    auto made =
+        datasets::GenerateDataset(datasets::DatasetId::kEpinions, 0.2, 1);
+    AGMDP_CHECK(made.ok());
+    return new graph::AttributedGraph(std::move(made).value());
+  }();
+  return *g;
+}
+
+void BM_EdgeTruncation(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  const auto k = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::TruncateEdges(g.structure(), k));
+  }
+}
+BENCHMARK(BM_EdgeTruncation)->Arg(4)->Arg(17)->Arg(64);
+
+void BM_ConnectionCounts(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agm::ComputeConnectionCounts(g));
+  }
+}
+BENCHMARK(BM_ConnectionCounts);
+
+void BM_TriangleCount(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph::CountTriangles(g.structure()));
+  }
+}
+BENCHMARK(BM_TriangleCount);
+
+void BM_LadderMechanism(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  util::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        dp::DpTriangleCount(g.structure(), 0.25, rng).value());
+  }
+}
+BENCHMARK(BM_LadderMechanism);
+
+void BM_DpDegreeSequence(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  std::vector<uint32_t> degrees = graph::DegreeSequence(g.structure());
+  util::Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp::DpDegreeSequence(degrees, 0.25, rng));
+  }
+}
+BENCHMARK(BM_DpDegreeSequence);
+
+void BM_FclGeneration(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  std::vector<uint32_t> degrees = graph::DegreeSequence(g.structure());
+  util::Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(models::FastChungLu(degrees, rng).value());
+  }
+}
+BENCHMARK(BM_FclGeneration);
+
+void BM_TriCycLeGeneration(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  std::vector<uint32_t> degrees = graph::DegreeSequence(g.structure());
+  const uint64_t triangles = graph::CountTriangles(g.structure());
+  util::Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        models::GenerateTriCycLe(degrees, triangles, rng).value());
+  }
+}
+BENCHMARK(BM_TriCycLeGeneration);
+
+void BM_AgmDpEndToEnd(benchmark::State& state) {
+  const graph::AttributedGraph& g = Input();
+  util::Rng rng(5);
+  agm::AgmDpOptions options;
+  options.epsilon = std::log(2.0);
+  options.sample.acceptance_iterations = 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(agm::SynthesizeAgmDp(g, options, rng).value());
+  }
+}
+BENCHMARK(BM_AgmDpEndToEnd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,9 @@
+// Table 2: AGM(DP)-FCL vs AGM(DP)-TriCL on the Last.fm stand-in.
+#include "bench/table_harness.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  return agmdp::bench::RunAgmDpTable(
+      agmdp::datasets::DatasetId::kLastFm,
+      agmdp::util::Flags::Parse(argc, argv));
+}

@@ -1,0 +1,9 @@
+// Table 4: AGM(DP)-FCL vs AGM(DP)-TriCL on the Epinions stand-in.
+#include "bench/table_harness.h"
+#include "src/util/flags.h"
+
+int main(int argc, char** argv) {
+  return agmdp::bench::RunAgmDpTable(
+      agmdp::datasets::DatasetId::kEpinions,
+      agmdp::util::Flags::Parse(argc, argv));
+}

@@ -1,0 +1,72 @@
+// Shared plumbing for the paper-artifact bench binaries: flag conventions,
+// dataset instantiation with default scales, and tiny table formatting.
+//
+// Common flags (all binaries):
+//   --scale=F    node-count scale for every dataset (default: per-dataset,
+//                chosen so the whole suite runs in minutes)
+//   --full       paper-scale datasets (scale = 1.0)
+//   --trials=N   trials per cell (default varies per bench)
+//   --seed=S     base RNG seed
+//   --dataset=D  restrict to one dataset (lastfm|petster|epinions|pokec)
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/datasets/datasets.h"
+#include "src/graph/attributed_graph.h"
+#include "src/util/check.h"
+#include "src/util/flags.h"
+
+namespace agmdp::bench {
+
+/// Default scales keep the suite laptop-fast while preserving each
+/// dataset's relative size ordering (the size -> robustness trend of the
+/// paper's Tables 2-5 depends only on that ordering).
+inline double DefaultScale(datasets::DatasetId id) {
+  switch (id) {
+    case datasets::DatasetId::kLastFm:
+    case datasets::DatasetId::kPetster:
+      return 1.0;
+    case datasets::DatasetId::kEpinions:
+      return 0.2;
+    case datasets::DatasetId::kPokec:
+      return 0.02;
+  }
+  return 1.0;
+}
+
+inline double ScaleFor(datasets::DatasetId id, const util::Flags& flags) {
+  if (flags.GetBool("full", false)) return 1.0;
+  return flags.GetDouble("scale", DefaultScale(id));
+}
+
+inline std::vector<datasets::DatasetId> SelectedDatasets(
+    const util::Flags& flags) {
+  if (flags.Has("dataset")) {
+    return {datasets::DatasetByName(flags.GetString("dataset", "lastfm"))};
+  }
+  return datasets::AllDatasets();
+}
+
+inline graph::AttributedGraph LoadDataset(datasets::DatasetId id,
+                                          const util::Flags& flags) {
+  const double scale = ScaleFor(id, flags);
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 20160626));
+  auto g = datasets::GenerateDataset(id, scale, seed);
+  AGMDP_CHECK_MSG(g.ok(), g.status().ToString().c_str());
+  std::printf("# dataset %s scale=%.3g: n=%u m=%llu\n",
+              datasets::PaperSpec(id).name.c_str(), scale,
+              g.value().num_nodes(),
+              static_cast<unsigned long long>(g.value().num_edges()));
+  return std::move(g).value();
+}
+
+inline void PrintRule() {
+  std::printf(
+      "#-----------------------------------------------------------------"
+      "---------\n");
+}
+
+}  // namespace agmdp::bench

@@ -1,0 +1,120 @@
+#include "bench/table_harness.h"
+
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/agm/agm_dp.h"
+#include "src/agm/theta_f.h"
+#include "src/graph/degree.h"
+#include "src/stats/metrics.h"
+#include "src/stats/summary.h"
+#include "src/util/rng.h"
+
+namespace agmdp::bench {
+
+namespace {
+
+void PrintHeader() {
+  std::printf("%-8s %-14s %8s %8s %8s %8s %8s %8s %8s %8s\n", "eps", "model",
+              "ThetaF", "H_ThetaF", "KS_S", "H_S", "n_tri", "avgC", "globC",
+              "m");
+}
+
+void PrintRow(const std::string& eps_label, const char* model,
+              const stats::UtilityErrors& e) {
+  std::printf("%-8s %-14s %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
+              eps_label.c_str(), model, e.theta_f_mae, e.theta_f_hellinger,
+              e.degree_ks, e.degree_hellinger, e.triangles_re,
+              e.avg_clustering_re, e.global_clustering_re, e.edges_re);
+}
+
+std::string EpsLabel(double eps) {
+  if (std::fabs(eps - std::log(3.0)) < 1e-9) return "ln3";
+  if (std::fabs(eps - std::log(2.0)) < 1e-9) return "ln2";
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.2f", eps);
+  return buffer;
+}
+
+}  // namespace
+
+int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
+  const datasets::DatasetSpec& spec = datasets::PaperSpec(id);
+  const int trials = static_cast<int>(flags.GetInt("trials", 5));
+  const int iters = static_cast<int>(flags.GetInt("accept_iters", 2));
+  std::vector<double> epsilons =
+      flags.GetDoubleList("eps", spec.table_epsilons);
+
+  std::printf("# Tables 2-5 harness: dataset=%s trials=%d\n",
+              spec.name.c_str(), trials);
+  graph::AttributedGraph input = LoadDataset(id, flags);
+
+  // Text baselines from Section 5.2: uniform correlations and uniform edge
+  // assignment.
+  {
+    std::vector<double> uniform(
+        graph::NumEdgeConfigs(input.num_attributes()),
+        1.0 / graph::NumEdgeConfigs(input.num_attributes()));
+    const std::vector<double> theta_f = agm::ComputeThetaF(input);
+    std::printf("# baseline uniform-ThetaF: MAE=%.4f Hellinger=%.4f\n",
+                stats::MeanAbsoluteError(uniform, theta_f),
+                stats::HellingerDistance(uniform, theta_f));
+    util::Rng rng(flags.GetInt("seed", 4));
+    graph::Graph random(input.num_nodes());
+    while (random.num_edges() < input.num_edges()) {
+      auto u = static_cast<graph::NodeId>(rng.UniformIndex(input.num_nodes()));
+      auto v = static_cast<graph::NodeId>(rng.UniformIndex(input.num_nodes()));
+      random.AddEdge(u, v);
+    }
+    std::printf("# baseline uniform-edges: KS=%.4f Hellinger=%.4f\n",
+                stats::KsStatistic(graph::SortedDegreeSequence(random),
+                                   graph::SortedDegreeSequence(
+                                       input.structure())),
+                stats::DegreeHellinger(random, input.structure()));
+  }
+
+  PrintHeader();
+  PrintRule();
+
+  util::Rng rng(flags.GetInt("seed", 5) + 17 * static_cast<int>(id));
+
+  // Non-private reference rows (AGM-FCL / AGM-TriCL).
+  for (bool tricycle : {false, true}) {
+    agm::AgmSampleOptions options;
+    options.model = tricycle ? agm::StructuralModelKind::kTriCycLe
+                             : agm::StructuralModelKind::kFcl;
+    options.acceptance_iterations = iters;
+    stats::UtilityErrors sum;
+    for (int t = 0; t < trials; ++t) {
+      auto synthetic = agm::SynthesizeAgmNonPrivate(input, options, rng);
+      AGMDP_CHECK_MSG(synthetic.ok(), synthetic.status().ToString().c_str());
+      sum += stats::CompareGraphs(input, synthetic.value());
+    }
+    PrintRow("nonpriv", tricycle ? "AGM-TriCL" : "AGM-FCL", sum / trials);
+  }
+
+  // Private rows.
+  for (double eps : epsilons) {
+    for (bool tricycle : {false, true}) {
+      agm::AgmDpOptions options;
+      options.epsilon = eps;
+      options.model = tricycle ? agm::StructuralModelKind::kTriCycLe
+                               : agm::StructuralModelKind::kFcl;
+      options.sample.acceptance_iterations = iters;
+      stats::UtilityErrors sum;
+      for (int t = 0; t < trials; ++t) {
+        auto result = agm::SynthesizeAgmDp(input, options, rng);
+        AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+        sum += stats::CompareGraphs(input, result.value().graph);
+      }
+      PrintRow(EpsLabel(eps), tricycle ? "AGMDP-TriCL" : "AGMDP-FCL",
+               sum / trials);
+    }
+  }
+  return 0;
+}
+
+}  // namespace agmdp::bench

@@ -1,0 +1,14 @@
+// Shared harness for Tables 2-5: run AGM(DP)-FCL and AGM(DP)-TriCL on one
+// dataset across its epsilon grid and print the paper's error columns.
+#pragma once
+
+#include "src/datasets/datasets.h"
+#include "src/util/flags.h"
+
+namespace agmdp::bench {
+
+/// Prints the table for `id` (dataset scale/trials/seed from flags).
+/// Returns the process exit code.
+int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags);
+
+}  // namespace agmdp::bench

@@ -1,0 +1,77 @@
+// Private release workflow: the end-to-end scenario from the paper's
+// introduction. A data owner holds a sensitive attributed social graph and
+// wants to hand analysts synthetic graphs they can explore freely.
+//
+// Steps: load (or build) the private graph -> pick a privacy budget ->
+// synthesize several independent releases -> evaluate each against the
+// input -> persist them as edge/attribute files.
+//
+//   ./private_release_workflow [--epsilon=0.69] [--releases=3]
+//                              [--dataset=petster] [--out=/tmp/release]
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "src/agm/agm_dp.h"
+#include "src/datasets/datasets.h"
+#include "src/graph/graph_io.h"
+#include "src/stats/summary.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace agmdp;
+  util::Flags flags = util::Flags::Parse(argc, argv);
+  const double epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  const int releases = static_cast<int>(flags.GetInt("releases", 3));
+  const std::string out = flags.GetString("out", "/tmp/agmdp_release");
+  const auto dataset =
+      datasets::DatasetByName(flags.GetString("dataset", "petster"));
+  util::Rng rng(flags.GetInt("seed", 1));
+
+  auto input = datasets::GenerateDataset(dataset, 1.0, 11);
+  if (!input.ok()) {
+    std::fprintf(stderr, "%s\n", input.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n",
+              stats::FormatSummary("input",
+                                   stats::Summarize(input.value().structure()))
+                  .c_str());
+
+  // IMPORTANT privacy note: each release consumes its own epsilon; by
+  // sequential composition the owner's total exposure is releases * epsilon.
+  std::printf("total privacy cost: %d x %.3f = %.3f\n\n", releases, epsilon,
+              releases * epsilon);
+
+  for (int i = 0; i < releases; ++i) {
+    agm::AgmDpOptions options;
+    options.epsilon = epsilon;
+    options.sample.acceptance_iterations = 3;
+    auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
+    if (!result.ok()) {
+      std::fprintf(stderr, "release %d failed: %s\n", i,
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    const std::string prefix = out + "_" + std::to_string(i);
+    if (auto st = graph::WriteAttributedGraph(result.value().graph, prefix);
+        !st.ok()) {
+      std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    stats::UtilityErrors e =
+        stats::CompareGraphs(input.value(), result.value().graph);
+    std::printf("release %d -> %s.{edges,attrs}\n", i, prefix.c_str());
+    std::printf("%s\n",
+                stats::FormatSummary(
+                    "  synthetic",
+                    stats::Summarize(result.value().graph.structure()))
+                    .c_str());
+    std::printf("  H_ThetaF=%.4f KS_S=%.4f tri_re=%.4f m_re=%.4f\n\n",
+                e.theta_f_hellinger, e.degree_ks, e.triangles_re, e.edges_re);
+  }
+  std::printf("done. Analysts can now run exploratory queries on the\n"
+              "released files without further privacy accounting.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Quickstart: synthesize a differentially private version of an attributed
+// social graph in ~20 lines of client code.
+//
+//   ./quickstart [--epsilon=1.0] [--seed=42]
+#include <cmath>
+#include <cstdio>
+
+#include "src/agm/agm_dp.h"
+#include "src/datasets/datasets.h"
+#include "src/stats/summary.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+
+int main(int argc, char** argv) {
+  using namespace agmdp;
+  util::Flags flags = util::Flags::Parse(argc, argv);
+  const double epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  util::Rng rng(flags.GetInt("seed", 42));
+
+  // 1. A sensitive input graph. Here: the Last.fm stand-in — in a real
+  //    deployment this is your private attributed graph, e.g. loaded with
+  //    graph::ReadAttributedGraph(prefix).
+  auto input = datasets::GenerateDataset(datasets::DatasetId::kLastFm,
+                                         /*scale=*/0.5, /*seed=*/7);
+  if (!input.ok()) {
+    std::fprintf(stderr, "dataset: %s\n", input.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. One call: learn all AGM parameters under epsilon-DP and sample a
+  //    synthetic graph (TriCycLe structural model by default).
+  agm::AgmDpOptions options;
+  options.epsilon = epsilon;
+  auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
+  if (!result.ok()) {
+    std::fprintf(stderr, "AGM-DP: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  // 3. The synthetic graph is safe to publish; compare utility.
+  std::printf("privacy budget spends:\n");
+  for (const auto& [label, eps] : result.value().budget_ledger) {
+    std::printf("  %-16s eps = %.4f\n", label.c_str(), eps);
+  }
+  std::printf("\n%s\n",
+              stats::FormatSummary("input",
+                                   stats::Summarize(input.value().structure()))
+                  .c_str());
+  std::printf("%s\n",
+              stats::FormatSummary(
+                  "synthetic",
+                  stats::Summarize(result.value().graph.structure()))
+                  .c_str());
+
+  stats::UtilityErrors errors =
+      stats::CompareGraphs(input.value(), result.value().graph);
+  std::printf("\nutility (lower is better):\n");
+  std::printf("  Theta_F MAE        %.4f\n", errors.theta_f_mae);
+  std::printf("  Theta_F Hellinger  %.4f\n", errors.theta_f_hellinger);
+  std::printf("  degree KS          %.4f\n", errors.degree_ks);
+  std::printf("  degree Hellinger   %.4f\n", errors.degree_hellinger);
+  std::printf("  triangle rel.err   %.4f\n", errors.triangles_re);
+  std::printf("  edge-count rel.err %.4f\n", errors.edges_re);
+  return 0;
+}

@@ -1,0 +1,107 @@
+#include "src/agm/agm_dp.h"
+
+#include <cmath>
+
+#include "src/agm/theta_f.h"
+#include "src/agm/theta_x.h"
+#include "src/dp/constrained_inference.h"
+#include "src/dp/edge_truncation.h"
+#include "src/graph/degree.h"
+#include "src/util/check.h"
+
+namespace agmdp::agm {
+
+util::Result<AgmDpResult> SynthesizeAgmDp(const graph::AttributedGraph& input,
+                                          const AgmDpOptions& options,
+                                          util::Rng& rng) {
+  if (options.epsilon <= 0.0) {
+    return util::Status::InvalidArgument("AGM-DP: epsilon must be positive");
+  }
+  if (input.num_nodes() < 2) {
+    return util::Status::InvalidArgument("AGM-DP: graph too small");
+  }
+  const bool tricycle = options.model == StructuralModelKind::kTriCycLe;
+
+  dp::BudgetSplit split = options.split;
+  if (split.total() <= 0.0) {
+    split = tricycle ? dp::BudgetSplit::EvenFourWay(options.epsilon)
+                     : dp::BudgetSplit::FclThreeWay(options.epsilon);
+  }
+  if (split.total() > options.epsilon + 1e-9) {
+    return util::Status::InvalidArgument(
+        "AGM-DP: budget split exceeds global epsilon");
+  }
+
+  dp::PrivacyAccountant accountant(options.epsilon);
+  AgmParams params;
+  params.w = input.num_attributes();
+
+  // Line 3: Θ̃X (Algorithm 5).
+  if (auto st = accountant.Spend(split.theta_x, "theta_x"); !st.ok()) return st;
+  params.theta_x = LearnAttributesDp(input, split.theta_x, rng);
+
+  // Line 5: Θ̃F.
+  if (auto st = accountant.Spend(split.theta_f, "theta_f"); !st.ok()) return st;
+  switch (options.theta_f_method) {
+    case ThetaFMethod::kEdgeTruncation:
+      params.theta_f = LearnCorrelationsDp(input, split.theta_f,
+                                           options.truncation_k, rng);
+      break;
+    case ThetaFMethod::kSmoothSensitivity:
+      params.theta_f = LearnCorrelationsSmooth(input, split.theta_f,
+                                               options.smooth_delta, rng);
+      break;
+    case ThetaFMethod::kSampleAggregate: {
+      uint32_t group = options.sa_group_size;
+      if (group == 0) {
+        group = static_cast<uint32_t>(
+            std::lround(std::sqrt(static_cast<double>(input.num_nodes()))));
+        if (group < 2) group = 2;
+      }
+      params.theta_f = LearnCorrelationsSampleAggregate(input, split.theta_f,
+                                                        group, rng);
+      break;
+    }
+    case ThetaFMethod::kNaiveLaplace:
+      params.theta_f = LearnCorrelationsNaive(input, split.theta_f, rng);
+      break;
+  }
+
+  // Line 4: Θ̃M = {S̄, ñ∆} (Algorithm 6). Constrained inference and the
+  // rounding are post-processing on the noisy sequence.
+  if (auto st = accountant.Spend(split.degree_seq, "degree_sequence");
+      !st.ok()) {
+    return st;
+  }
+  params.degree_sequence = dp::DpDegreeSequence(
+      graph::DegreeSequence(input.structure()), split.degree_seq, rng);
+
+  if (tricycle) {
+    if (auto st = accountant.Spend(split.triangles, "triangles"); !st.ok()) {
+      return st;
+    }
+    auto triangles = dp::DpTriangleCount(input.structure(), split.triangles,
+                                         rng, options.ladder);
+    if (!triangles.ok()) return triangles.status();
+    params.target_triangles =
+        static_cast<uint64_t>(std::max<int64_t>(0, triangles.value()));
+  }
+
+  // Lines 6-18: sampling is pure post-processing of the learned parameters.
+  AgmSampleOptions sample = options.sample;
+  sample.model = options.model;
+  auto synthetic = SampleAgmGraph(params, sample, rng);
+  if (!synthetic.ok()) return synthetic.status();
+
+  AgmDpResult result{std::move(synthetic).value(), std::move(params),
+                     accountant.ledger()};
+  return result;
+}
+
+util::Result<graph::AttributedGraph> SynthesizeAgmNonPrivate(
+    const graph::AttributedGraph& input, const AgmSampleOptions& options,
+    util::Rng& rng) {
+  return SampleAgmGraph(LearnAgmParams(input), options, rng);
+}
+
+}  // namespace agmdp::agm

@@ -1,0 +1,70 @@
+// AGM-DP — the end-to-end differentially private synthesis workflow
+// (Algorithm 3, Theorem 2).
+//
+// The global privacy budget is split among the parameter learners (Section
+// 5: even four-way for TriCycLe; S gets half for FCL), each parameter is
+// learned once under its share, and after that the raw input graph is never
+// touched again — the synthetic graph is pure post-processing, so the whole
+// pipeline satisfies eps-DP by sequential composition.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/agm/agm_sampler.h"
+#include "src/dp/ladder_mechanism.h"
+#include "src/dp/privacy_budget.h"
+#include "src/graph/attributed_graph.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::agm {
+
+/// Which ΘF estimator AGM-DP uses (Figure 5 compares them; edge truncation
+/// is the paper's pick).
+enum class ThetaFMethod {
+  kEdgeTruncation,
+  kSmoothSensitivity,
+  kSampleAggregate,
+  kNaiveLaplace,
+};
+
+struct AgmDpOptions {
+  double epsilon = 1.0;
+  StructuralModelKind model = StructuralModelKind::kTriCycLe;
+  ThetaFMethod theta_f_method = ThetaFMethod::kEdgeTruncation;
+  /// Truncation parameter for ΘF; 0 selects the paper's n^(1/3) heuristic.
+  uint32_t truncation_k = 0;
+  /// delta for the smooth-sensitivity ΘF variant.
+  double smooth_delta = 1e-6;
+  /// Group size for sample-and-aggregate; 0 selects sqrt(n).
+  uint32_t sa_group_size = 0;
+  /// Budget split; a zero-total split selects the model's default.
+  dp::BudgetSplit split;
+  dp::LadderOptions ladder;
+  AgmSampleOptions sample;
+};
+
+struct AgmDpResult {
+  graph::AttributedGraph graph;
+  /// The private parameters the graph was sampled from.
+  AgmParams params;
+  /// (label, epsilon) spends, summing to <= options.epsilon.
+  std::vector<std::pair<std::string, double>> budget_ledger;
+};
+
+/// Runs Algorithm 3. Fails on invalid options (non-positive epsilon,
+/// missing attributes, inconsistent split).
+util::Result<AgmDpResult> SynthesizeAgmDp(const graph::AttributedGraph& input,
+                                          const AgmDpOptions& options,
+                                          util::Rng& rng);
+
+/// Convenience: the non-private AGM baselines (AGM-FCL / AGM-TriCL) via the
+/// same sampling machinery.
+util::Result<graph::AttributedGraph> SynthesizeAgmNonPrivate(
+    const graph::AttributedGraph& input, const AgmSampleOptions& options,
+    util::Rng& rng);
+
+}  // namespace agmdp::agm

@@ -1,0 +1,147 @@
+#include "src/agm/agm_sampler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/agm/theta_f.h"
+#include "src/agm/theta_x.h"
+#include "src/graph/degree.h"
+#include "src/graph/triangle_count.h"
+#include "src/util/check.h"
+
+namespace agmdp::agm {
+
+AgmParams LearnAgmParams(const graph::AttributedGraph& g) {
+  AgmParams params;
+  params.w = g.num_attributes();
+  params.theta_x = ComputeThetaX(g);
+  params.theta_f = ComputeThetaF(g);
+  params.degree_sequence = graph::DegreeSequence(g.structure());
+  params.target_triangles = graph::CountTriangles(g.structure());
+  return params;
+}
+
+std::vector<double> ComputeAcceptanceProbabilities(
+    const std::vector<double>& theta_f_target,
+    const std::vector<double>& theta_f_observed,
+    const std::vector<double>& a_old, double min_acceptance) {
+  AGMDP_CHECK(theta_f_target.size() == theta_f_observed.size());
+  const size_t dim = theta_f_target.size();
+  constexpr double kTiny = 1e-12;
+
+  // R(y) = target / observed, carrying the previous acceptance forward
+  // (Algorithm 3 lines 11-14). Configurations the current graph never
+  // produced but the target wants get the largest finite ratio (the paper
+  // is silent on 0-denominators; see DESIGN.md deviations).
+  std::vector<double> ratio(dim, 0.0);
+  double max_finite = 0.0;
+  for (size_t y = 0; y < dim; ++y) {
+    if (theta_f_observed[y] > kTiny) {
+      ratio[y] = theta_f_target[y] / theta_f_observed[y];
+      if (!a_old.empty()) ratio[y] *= a_old[y];
+      max_finite = std::max(max_finite, ratio[y]);
+    }
+  }
+  const double missing_ratio = max_finite > 0.0 ? max_finite : 1.0;
+  for (size_t y = 0; y < dim; ++y) {
+    if (theta_f_observed[y] <= kTiny) {
+      ratio[y] = theta_f_target[y] > kTiny ? missing_ratio : 0.0;
+    }
+  }
+
+  // A(y) = R(y) / sup R (line 16), floored for configurations with demand.
+  double sup = *std::max_element(ratio.begin(), ratio.end());
+  if (sup <= 0.0) return std::vector<double>(dim, 1.0);
+  std::vector<double> acceptance(dim);
+  for (size_t y = 0; y < dim; ++y) {
+    acceptance[y] = ratio[y] / sup;
+    if (theta_f_target[y] > kTiny) {
+      acceptance[y] = std::max(acceptance[y], min_acceptance);
+    }
+  }
+  return acceptance;
+}
+
+namespace {
+
+// Generates the edge set for the current acceptance vector (empty = none).
+util::Result<graph::Graph> GenerateStructure(
+    const AgmParams& params, const AgmSampleOptions& options,
+    const std::vector<graph::AttrConfig>& attrs,
+    const std::vector<double>& acceptance, util::Rng& rng) {
+  models::EdgeFilter filter;
+  if (!acceptance.empty()) {
+    const int w = params.w;
+    filter = [&attrs, &acceptance, w](graph::NodeId u, graph::NodeId v,
+                                      util::Rng& r) {
+      const uint32_t y = graph::EncodeEdgeConfig(attrs[u], attrs[v], w);
+      return r.Bernoulli(acceptance[y]);
+    };
+  }
+
+  if (options.model == StructuralModelKind::kFcl) {
+    models::ChungLuOptions fcl = options.fcl;
+    fcl.filter = filter;
+    return models::FastChungLu(params.degree_sequence, rng, fcl);
+  }
+  models::TriCycLeOptions tri = options.tricycle;
+  tri.filter = filter;
+  auto result = models::GenerateTriCycLe(params.degree_sequence,
+                                         params.target_triangles, rng, tri);
+  if (!result.ok()) return result.status();
+  return std::move(result).value().graph;
+}
+
+}  // namespace
+
+util::Result<graph::AttributedGraph> SampleAgmGraph(
+    const AgmParams& params, const AgmSampleOptions& options,
+    util::Rng& rng) {
+  if (params.degree_sequence.empty()) {
+    return util::Status::InvalidArgument("SampleAgmGraph: empty degree sequence");
+  }
+  if (params.theta_f.size() != graph::NumEdgeConfigs(params.w) ||
+      params.theta_x.size() != graph::NumNodeConfigs(params.w)) {
+    return util::Status::InvalidArgument(
+        "SampleAgmGraph: parameter dimensions do not match w");
+  }
+  const auto n = static_cast<graph::NodeId>(params.degree_sequence.size());
+
+  // Line 6: fresh attribute vectors X̃ ~ ΘX.
+  auto attrs = SampleAttributes(params.theta_x, n, rng);
+  if (!attrs.ok()) return attrs.status();
+
+  // Line 7: temporary edge set, no acceptance filtering yet.
+  auto structure = GenerateStructure(params, options, attrs.value(), {}, rng);
+  if (!structure.ok()) return structure.status();
+
+  graph::AttributedGraph synthetic(std::move(structure).value(), params.w);
+  AGMDP_CHECK_OK(synthetic.SetAttributes(attrs.value()));
+
+  // Lines 9-18: iterate acceptance probabilities to convergence.
+  std::vector<double> a_old;
+  for (int iter = 0; iter < options.acceptance_iterations; ++iter) {
+    const std::vector<double> observed = ComputeThetaF(synthetic);
+    std::vector<double> acceptance = ComputeAcceptanceProbabilities(
+        params.theta_f, observed, a_old, options.min_acceptance);
+
+    double delta = 0.0;
+    if (!a_old.empty()) {
+      for (size_t y = 0; y < acceptance.size(); ++y) {
+        delta = std::max(delta, std::fabs(acceptance[y] - a_old[y]));
+      }
+    }
+
+    auto refreshed =
+        GenerateStructure(params, options, attrs.value(), acceptance, rng);
+    if (!refreshed.ok()) return refreshed.status();
+    synthetic = graph::AttributedGraph(std::move(refreshed).value(), params.w);
+    AGMDP_CHECK_OK(synthetic.SetAttributes(attrs.value()));
+
+    a_old = std::move(acceptance);
+    if (iter > 0 && delta < options.acceptance_tolerance) break;
+  }
+  return synthetic;
+}
+
+}  // namespace agmdp::agm

@@ -1,0 +1,68 @@
+// The AGM accept/reject sampling loop (Section 2.2 and Algorithm 3 lines
+// 6-18), shared by the non-private and differentially private pipelines.
+//
+// Given parameters (ΘX, ΘF, structural parameters), the sampler draws
+// attribute vectors i.i.d. from ΘX, generates a temporary edge set from the
+// structural model, measures the attribute correlations Θ'F it produced,
+// and derives per-configuration acceptance probabilities
+//     A(y) = R(y) / sup R,   R(y) = ΘF(y) / Θ'F(y)  (optionally × A_old),
+// which are then pushed *into* the structural model's own sampling loop as
+// an edge filter (the paper's modification that makes rewiring models like
+// TriCycLe compatible with AGM). The loop iterates until A converges.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/attributed_graph.h"
+#include "src/models/chung_lu.h"
+#include "src/models/tricycle.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::agm {
+
+/// Which structural model M the AGM pipeline plugs in.
+enum class StructuralModelKind { kFcl, kTriCycLe };
+
+/// The three AGM parameter sets (plus w); ΘM is the degree sequence and —
+/// for TriCycLe — the triangle count.
+struct AgmParams {
+  int w = 0;
+  std::vector<double> theta_x;            // |Y_w|
+  std::vector<double> theta_f;            // |Y^F_w|
+  std::vector<uint32_t> degree_sequence;  // length n
+  uint64_t target_triangles = 0;          // used by TriCycLe only
+};
+
+/// Exact (non-private) parameter estimation — the AGM-FCL / AGM-TriCL
+/// baselines of Tables 2-5.
+AgmParams LearnAgmParams(const graph::AttributedGraph& g);
+
+struct AgmSampleOptions {
+  StructuralModelKind model = StructuralModelKind::kTriCycLe;
+  /// Acceptance-probability refinement iterations ("A tended to converge
+  /// after just a few iterations", Section 4).
+  int acceptance_iterations = 3;
+  /// Early-exit when max |A - A_old| drops below this.
+  double acceptance_tolerance = 0.01;
+  /// Floor for acceptance probabilities of configurations with positive
+  /// target mass (prevents live-locking the proposal loops; deviation
+  /// documented in DESIGN.md).
+  double min_acceptance = 1e-3;
+  models::TriCycLeOptions tricycle;
+  models::ChungLuOptions fcl;
+};
+
+/// Runs the sampling loop and returns the synthetic attributed graph.
+util::Result<graph::AttributedGraph> SampleAgmGraph(
+    const AgmParams& params, const AgmSampleOptions& options, util::Rng& rng);
+
+/// Builds the acceptance vector A from target ΘF, observed Θ'F and the
+/// previous A (pass empty for none). Exposed for unit testing.
+std::vector<double> ComputeAcceptanceProbabilities(
+    const std::vector<double>& theta_f_target,
+    const std::vector<double>& theta_f_observed,
+    const std::vector<double>& a_old, double min_acceptance);
+
+}  // namespace agmdp::agm

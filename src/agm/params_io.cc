@@ -1,0 +1,92 @@
+#include "src/agm/params_io.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "src/graph/attribute_encoding.h"
+
+namespace agmdp::agm {
+
+namespace {
+constexpr char kMagic[] = "agmdp-params";
+constexpr int kVersion = 1;
+}  // namespace
+
+util::Status WriteAgmParams(const AgmParams& params,
+                            const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.is_open()) {
+    return util::Status::IoError("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  out << kMagic << " v" << kVersion << "\n";
+  out << "w " << params.w << "\n";
+  out << "theta_x " << params.theta_x.size();
+  for (double p : params.theta_x) out << " " << p;
+  out << "\n";
+  out << "theta_f " << params.theta_f.size();
+  for (double p : params.theta_f) out << " " << p;
+  out << "\n";
+  out << "degrees " << params.degree_sequence.size();
+  for (uint32_t d : params.degree_sequence) out << " " << d;
+  out << "\n";
+  out << "triangles " << params.target_triangles << "\n";
+  out.flush();
+  if (!out.good()) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<AgmParams> ReadAgmParams(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return util::Status::IoError("cannot open for reading: " + path);
+  }
+  std::string magic, version;
+  if (!(in >> magic >> version) || magic != kMagic || version != "v1") {
+    return util::Status::IoError("bad params header in " + path);
+  }
+  AgmParams params;
+  std::string tag;
+  size_t count = 0;
+
+  if (!(in >> tag >> params.w) || tag != "w" || params.w < 0 ||
+      params.w > 20) {
+    return util::Status::IoError("bad w field in " + path);
+  }
+
+  if (!(in >> tag >> count) || tag != "theta_x") {
+    return util::Status::IoError("bad theta_x field in " + path);
+  }
+  params.theta_x.resize(count);
+  for (double& p : params.theta_x) {
+    if (!(in >> p)) return util::Status::IoError("truncated theta_x");
+  }
+
+  if (!(in >> tag >> count) || tag != "theta_f") {
+    return util::Status::IoError("bad theta_f field in " + path);
+  }
+  params.theta_f.resize(count);
+  for (double& p : params.theta_f) {
+    if (!(in >> p)) return util::Status::IoError("truncated theta_f");
+  }
+
+  if (!(in >> tag >> count) || tag != "degrees") {
+    return util::Status::IoError("bad degrees field in " + path);
+  }
+  params.degree_sequence.resize(count);
+  for (uint32_t& d : params.degree_sequence) {
+    if (!(in >> d)) return util::Status::IoError("truncated degrees");
+  }
+
+  if (!(in >> tag >> params.target_triangles) || tag != "triangles") {
+    return util::Status::IoError("bad triangles field in " + path);
+  }
+
+  if (params.theta_x.size() != graph::NumNodeConfigs(params.w) ||
+      params.theta_f.size() != graph::NumEdgeConfigs(params.w)) {
+    return util::Status::IoError("parameter dimensions inconsistent with w");
+  }
+  return params;
+}
+
+}  // namespace agmdp::agm

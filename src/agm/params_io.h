@@ -1,0 +1,19 @@
+// Persistence for learned AGM parameters.
+//
+// The private parameters are the *release*: once learned under a DP budget
+// they can be stored and arbitrarily many synthetic graphs sampled later
+// without touching the sensitive input again (post-processing invariance).
+// The format is a versioned plain-text file.
+#pragma once
+
+#include <string>
+
+#include "src/agm/agm_sampler.h"
+#include "src/util/status.h"
+
+namespace agmdp::agm {
+
+util::Status WriteAgmParams(const AgmParams& params, const std::string& path);
+util::Result<AgmParams> ReadAgmParams(const std::string& path);
+
+}  // namespace agmdp::agm

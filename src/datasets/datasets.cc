@@ -1,0 +1,154 @@
+#include "src/datasets/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/datasets/homophily.h"
+#include "src/models/holme_kim.h"
+#include "src/util/check.h"
+#include "src/util/rng.h"
+
+namespace agmdp::datasets {
+
+namespace {
+
+std::vector<DatasetSpec> BuildSpecs() {
+  std::vector<DatasetSpec> specs(4);
+
+  // Table 6 statistics. theta_x marginals are plausible choices for the
+  // attributes the paper derived (two most-popular artists / products,
+  // sex x is-living, sex x age<=30); the exact crawls are unavailable.
+  DatasetSpec& lastfm = specs[0];
+  lastfm.name = "lastfm";
+  lastfm.nodes = 1843;
+  lastfm.edges = 12668;
+  lastfm.max_degree = 119;
+  lastfm.avg_degree = 6.9;
+  lastfm.triangles = 19651;
+  lastfm.avg_clustering = 0.183;
+  lastfm.theta_x = {0.52, 0.22, 0.16, 0.10};  // listenedToArtist{A,B}
+  lastfm.homophily = 0.52;
+  lastfm.table_epsilons = {std::log(3.0), std::log(2.0), 0.3, 0.2};
+
+  DatasetSpec& petster = specs[1];
+  petster.name = "petster";
+  petster.nodes = 1788;
+  petster.edges = 12476;
+  petster.max_degree = 272;
+  petster.avg_degree = 7.0;
+  petster.triangles = 16741;
+  petster.avg_clustering = 0.143;
+  petster.theta_x = {0.30, 0.28, 0.24, 0.18};  // sex x is-living
+  petster.homophily = 0.45;
+  petster.table_epsilons = {std::log(3.0), std::log(2.0), 0.3, 0.2};
+
+  DatasetSpec& epinions = specs[2];
+  epinions.name = "epinions";
+  epinions.nodes = 26427;
+  epinions.edges = 104075;
+  epinions.max_degree = 625;
+  epinions.avg_degree = 3.9;
+  epinions.triangles = 231645;
+  epinions.avg_clustering = 0.138;
+  epinions.theta_x = {0.62, 0.18, 0.13, 0.07};  // ratedProduct{A,B}
+  epinions.homophily = 0.60;
+  epinions.table_epsilons = {std::log(3.0), std::log(2.0), 0.3, 0.2};
+
+  DatasetSpec& pokec = specs[3];
+  pokec.name = "pokec";
+  pokec.nodes = 592627;
+  pokec.edges = 3725424;
+  pokec.max_degree = 1274;
+  pokec.avg_degree = 6.3;
+  pokec.triangles = 2492216;
+  pokec.avg_clustering = 0.104;
+  pokec.theta_x = {0.28, 0.27, 0.24, 0.21};  // sex x age<=30
+  pokec.homophily = 0.48;
+  pokec.table_epsilons = {0.2, 0.1, 0.05, 0.01};
+
+  return specs;
+}
+
+const std::vector<DatasetSpec>& Specs() {
+  static const std::vector<DatasetSpec> specs = BuildSpecs();
+  return specs;
+}
+
+}  // namespace
+
+const DatasetSpec& PaperSpec(DatasetId id) {
+  return Specs()[static_cast<size_t>(id)];
+}
+
+std::vector<DatasetId> AllDatasets() {
+  return {DatasetId::kLastFm, DatasetId::kPetster, DatasetId::kEpinions,
+          DatasetId::kPokec};
+}
+
+DatasetId DatasetByName(const std::string& name) {
+  for (DatasetId id : AllDatasets()) {
+    if (PaperSpec(id).name == name) return id;
+  }
+  AGMDP_CHECK_MSG(false, ("unknown dataset: " + name).c_str());
+  return DatasetId::kLastFm;  // unreachable
+}
+
+util::Result<graph::AttributedGraph> GenerateDataset(DatasetId id,
+                                                     double scale,
+                                                     uint64_t seed) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return util::Status::InvalidArgument(
+        "GenerateDataset: scale must be in (0, 1]");
+  }
+  const DatasetSpec& spec = PaperSpec(id);
+  const auto n = static_cast<graph::NodeId>(std::max<double>(
+      200.0, std::lround(scale * static_cast<double>(spec.nodes))));
+
+  util::Rng rng(seed ^ (static_cast<uint64_t>(id) << 32));
+
+  models::HolmeKimOptions options;
+  // Table 6 reports davg = m/n (its m and davg columns agree only under
+  // that convention), so each incoming node brings m/n edges on average.
+  options.edges_per_node =
+      std::max(1.0, static_cast<double>(spec.edges) /
+                        static_cast<double>(spec.nodes));
+  // Cap hubs at the crawl's published maximum degree (scaled down with the
+  // graph, since hub size grows with n under preferential attachment).
+  options.max_degree = std::max<uint32_t>(
+      16, static_cast<uint32_t>(std::lround(spec.max_degree *
+                                            std::min(1.0, 2.0 * scale))));
+  // Calibrate the triad probability against the published triangle density:
+  // the share of triangles *not* implied by the degree sequence is what
+  // separates TriCycLe/TCL from degree-only models, so it is the statistic
+  // to preserve. Holme-Kim concentrates its triads on incoming (low-degree)
+  // nodes, so chasing a high triangle target can overshoot the local
+  // clustering; the clustering-calibrated probability at 2x the published
+  // C̄ serves as an upper clamp. (Pilot statistics are per-node and the cap
+  // and edge budget are size-independent, so pilots transfer to full size.)
+  const double target_triangles_per_node =
+      static_cast<double>(spec.triangles) / static_cast<double>(spec.nodes);
+  const graph::NodeId pilot =
+      std::min<graph::NodeId>(n, std::max<graph::NodeId>(2000, n / 10));
+  util::Rng pilot_rng = rng.Fork();
+  const double p_triangles = models::CalibrateTriadProbability(
+      options, target_triangles_per_node, pilot, pilot_rng,
+      models::TriadTarget::kTrianglesPerNode);
+  const double p_clustering_cap = models::CalibrateTriadProbability(
+      options, 2.0 * spec.avg_clustering, pilot, pilot_rng,
+      models::TriadTarget::kAvgClustering);
+  options.triad_probability = std::min(p_triangles, p_clustering_cap);
+
+  auto structure = models::HolmeKim(n, options, rng);
+  if (!structure.ok()) return structure.status();
+
+  graph::AttributedGraph g(std::move(structure).value(), spec.num_attributes);
+  HomophilyOptions homophily;
+  homophily.target_same_fraction = spec.homophily;
+  if (auto st = AssignHomophilousAttributes(&g, spec.theta_x, homophily, rng);
+      !st.ok()) {
+    return st;
+  }
+  return g;
+}
+
+}  // namespace agmdp::datasets

@@ -1,0 +1,50 @@
+// Synthetic stand-ins for the paper's four evaluation datasets (Appendix A,
+// Table 6). The public crawls are unavailable offline, so each dataset is
+// regenerated as a Holme-Kim powerlaw-cluster graph calibrated to the
+// published statistics, with homophilous binary attributes
+// (DESIGN.md substitution #1). `scale` shrinks node counts proportionally
+// (1.0 = paper size); all generation is deterministic in `seed`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/graph/attributed_graph.h"
+#include "src/util/status.h"
+
+namespace agmdp::datasets {
+
+enum class DatasetId { kLastFm, kPetster, kEpinions, kPokec };
+
+/// The published Table-6 statistics plus our attribute targets.
+struct DatasetSpec {
+  std::string name;
+  graph::NodeId nodes = 0;
+  uint64_t edges = 0;
+  uint32_t max_degree = 0;
+  double avg_degree = 0.0;
+  uint64_t triangles = 0;
+  double avg_clustering = 0.0;
+  int num_attributes = 2;
+  /// Target marginal for the 2^w attribute configurations.
+  std::vector<double> theta_x;
+  /// Target fraction of same-configuration edges (homophily strength).
+  double homophily = 0.55;
+  /// Epsilon grid used in the paper's Tables 2-5 for this dataset.
+  std::vector<double> table_epsilons;
+};
+
+const DatasetSpec& PaperSpec(DatasetId id);
+std::vector<DatasetId> AllDatasets();
+DatasetId DatasetByName(const std::string& name);  // aborts on unknown name
+
+/// Generates the stand-in at `scale` (node count = round(scale * n_paper),
+/// min 200). The triad probability is calibrated against the paper's
+/// average clustering on a pilot graph; attributes are assigned with
+/// homophily. Deterministic in `seed`.
+util::Result<graph::AttributedGraph> GenerateDataset(DatasetId id,
+                                                     double scale,
+                                                     uint64_t seed);
+
+}  // namespace agmdp::datasets

@@ -1,0 +1,105 @@
+#include "src/datasets/homophily.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/util/check.h"
+
+namespace agmdp::datasets {
+
+namespace {
+
+// Largest-remainder apportionment of n slots to the masses in theta.
+std::vector<uint64_t> Apportion(const std::vector<double>& theta, uint64_t n) {
+  const size_t k = theta.size();
+  std::vector<uint64_t> counts(k, 0);
+  std::vector<std::pair<double, size_t>> remainders(k);
+  uint64_t assigned = 0;
+  for (size_t i = 0; i < k; ++i) {
+    const double exact = theta[i] * static_cast<double>(n);
+    counts[i] = static_cast<uint64_t>(std::floor(exact));
+    assigned += counts[i];
+    remainders[i] = {exact - std::floor(exact), i};
+  }
+  std::sort(remainders.rbegin(), remainders.rend());
+  for (size_t i = 0; assigned < n && i < k; ++i, ++assigned) {
+    ++counts[remainders[i].second];
+  }
+  return counts;
+}
+
+// Net change in same-configuration edges if u and v swapped attributes.
+int64_t SwapGain(const graph::AttributedGraph& g, graph::NodeId u,
+                 graph::NodeId v) {
+  const graph::AttrConfig au = g.attribute(u), av = g.attribute(v);
+  int64_t gain = 0;
+  for (graph::NodeId w : g.structure().Neighbors(u)) {
+    if (w == v) continue;  // the u-v edge itself is invariant under swap
+    const graph::AttrConfig aw = g.attribute(w);
+    gain += (aw == av) - (aw == au);
+  }
+  for (graph::NodeId w : g.structure().Neighbors(v)) {
+    if (w == u) continue;
+    const graph::AttrConfig aw = g.attribute(w);
+    gain += (aw == au) - (aw == av);
+  }
+  return gain;
+}
+
+}  // namespace
+
+double SameConfigEdgeFraction(const graph::AttributedGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  uint64_t same = 0;
+  g.structure().ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    if (g.attribute(u) == g.attribute(v)) ++same;
+  });
+  return static_cast<double>(same) / static_cast<double>(g.num_edges());
+}
+
+util::Status AssignHomophilousAttributes(graph::AttributedGraph* g,
+                                         const std::vector<double>& theta_x,
+                                         const HomophilyOptions& options,
+                                         util::Rng& rng) {
+  AGMDP_CHECK(g != nullptr);
+  if (theta_x.size() != graph::NumNodeConfigs(g->num_attributes())) {
+    return util::Status::InvalidArgument(
+        "AssignHomophilousAttributes: theta_x dimension mismatch");
+  }
+  const graph::NodeId n = g->num_nodes();
+  if (n == 0) return util::Status::OK();
+
+  // Deal out configurations matching the marginal exactly, then shuffle.
+  std::vector<uint64_t> counts = Apportion(theta_x, n);
+  std::vector<graph::AttrConfig> attrs;
+  attrs.reserve(n);
+  for (size_t config = 0; config < counts.size(); ++config) {
+    attrs.insert(attrs.end(), counts[config],
+                 static_cast<graph::AttrConfig>(config));
+  }
+  rng.Shuffle(&attrs);
+  if (auto st = g->SetAttributes(std::move(attrs)); !st.ok()) return st;
+
+  const uint64_t max_swaps =
+      options.max_swaps > 0 ? options.max_swaps : 20ull * n;
+  uint64_t same = static_cast<uint64_t>(
+      SameConfigEdgeFraction(*g) * static_cast<double>(g->num_edges()) + 0.5);
+  const auto target = static_cast<uint64_t>(options.target_same_fraction *
+                                            static_cast<double>(g->num_edges()));
+  for (uint64_t swap = 0; swap < max_swaps && same < target; ++swap) {
+    const auto u = static_cast<graph::NodeId>(rng.UniformIndex(n));
+    const auto v = static_cast<graph::NodeId>(rng.UniformIndex(n));
+    if (u == v || g->attribute(u) == g->attribute(v)) continue;
+    const int64_t gain = SwapGain(*g, u, v);
+    if (gain > 0) {
+      const graph::AttrConfig au = g->attribute(u);
+      g->set_attribute(u, g->attribute(v));
+      g->set_attribute(v, au);
+      same += static_cast<uint64_t>(gain);
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace agmdp::datasets

@@ -1,0 +1,39 @@
+// Homophilous attribute assignment for the synthetic dataset stand-ins.
+//
+// Attribute configurations are dealt out to match the target ΘX marginal
+// exactly (largest-remainder apportionment), then pairs of nodes with
+// different configurations are greedily swapped whenever a swap increases
+// the fraction of same-configuration edges. Swapping preserves the marginal
+// exactly while creating the edge-attribute correlation ("birds of a
+// feather") that ΘF is supposed to capture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/attributed_graph.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::datasets {
+
+struct HomophilyOptions {
+  /// Stop once this fraction of edges connects same-configuration
+  /// endpoints (if reachable).
+  double target_same_fraction = 0.55;
+  /// Swap attempts; 0 means 20 * n.
+  uint64_t max_swaps = 0;
+};
+
+/// Assigns attributes to g's nodes with marginal theta_x and homophily.
+/// Fails if theta_x does not match g's attribute dimension.
+util::Status AssignHomophilousAttributes(graph::AttributedGraph* g,
+                                         const std::vector<double>& theta_x,
+                                         const HomophilyOptions& options,
+                                         util::Rng& rng);
+
+/// Fraction of edges whose endpoints share an attribute configuration
+/// (diagnostic used by tests and the dataset report).
+double SameConfigEdgeFraction(const graph::AttributedGraph& g);
+
+}  // namespace agmdp::datasets

@@ -1,0 +1,59 @@
+#include "src/dp/constrained_inference.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace agmdp::dp {
+
+std::vector<double> IsotonicRegressionL2(const std::vector<double>& values) {
+  // Pool-adjacent-violators with block merging. Each block stores the mean
+  // of the pooled prefix values and its width.
+  struct Block {
+    double mean;
+    uint64_t width;
+  };
+  std::vector<Block> blocks;
+  blocks.reserve(values.size());
+  for (double v : values) {
+    Block current{v, 1};
+    while (!blocks.empty() && blocks.back().mean >= current.mean) {
+      const Block& prev = blocks.back();
+      const double total_width =
+          static_cast<double>(prev.width + current.width);
+      current.mean = (prev.mean * static_cast<double>(prev.width) +
+                      current.mean * static_cast<double>(current.width)) /
+                     total_width;
+      current.width += prev.width;
+      blocks.pop_back();
+    }
+    blocks.push_back(current);
+  }
+  std::vector<double> out;
+  out.reserve(values.size());
+  for (const Block& b : blocks) {
+    out.insert(out.end(), b.width, b.mean);
+  }
+  return out;
+}
+
+std::vector<uint32_t> DpDegreeSequence(const std::vector<uint32_t>& degrees,
+                                       double epsilon, util::Rng& rng) {
+  const size_t n = degrees.size();
+  std::vector<double> sorted(n);
+  for (size_t i = 0; i < n; ++i) sorted[i] = degrees[i];
+  std::sort(sorted.begin(), sorted.end());
+
+  for (double& d : sorted) d += rng.Laplace(2.0 / epsilon);
+
+  std::vector<double> fitted = IsotonicRegressionL2(sorted);
+
+  std::vector<uint32_t> out(n);
+  const double max_degree = n == 0 ? 0.0 : static_cast<double>(n - 1);
+  for (size_t i = 0; i < n; ++i) {
+    double d = std::clamp(std::round(fitted[i]), 0.0, max_degree);
+    out[i] = static_cast<uint32_t>(d);
+  }
+  return out;
+}
+
+}  // namespace agmdp::dp

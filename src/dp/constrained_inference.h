@@ -1,0 +1,32 @@
+// Constrained inference for DP degree sequences (Hay et al., ICDM 2009;
+// Appendix C.3.1 of the paper).
+//
+// The degree sequence is sorted ascending (the node-to-degree mapping is
+// irrelevant to the models), independent Laplace(2 / eps) noise is added
+// (GS = 2: one edge change moves exactly two degrees by one), and the
+// ordering constraint is restored by L2-projection onto non-decreasing
+// sequences — classic isotonic regression, solved in linear time by
+// pool-adjacent-violators (PAVA). Projection is post-processing, so it is
+// free of privacy cost and cancels most of the noise on the flat low-degree
+// prefix of social-network degree sequences.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace agmdp::dp {
+
+/// L2 isotonic regression: the non-decreasing sequence closest to `values`
+/// in Euclidean distance (pool-adjacent-violators, O(n)).
+std::vector<double> IsotonicRegressionL2(const std::vector<double>& values);
+
+/// End-to-end DP degree sequence (Algorithm 6, lines 3-8): sort ascending,
+/// add Laplace(2/epsilon), run constrained inference, round and clamp each
+/// degree to {0, ..., n-1}. Returns the non-decreasing private sequence.
+std::vector<uint32_t> DpDegreeSequence(const std::vector<uint32_t>& degrees,
+                                       double epsilon, util::Rng& rng);
+
+}  // namespace agmdp::dp

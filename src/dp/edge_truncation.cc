@@ -1,0 +1,47 @@
+#include "src/dp/edge_truncation.h"
+
+#include <cmath>
+#include <vector>
+
+#include "src/util/check.h"
+
+namespace agmdp::dp {
+
+graph::Graph TruncateEdges(const graph::Graph& g, uint32_t k) {
+  AGMDP_CHECK_MSG(k >= 1, "truncation parameter must be >= 1");
+  // Degrees evolve as edges are deleted; an edge survives iff both endpoint
+  // degrees are <= k at the moment it is processed. Equivalently, build up
+  // the surviving graph while tracking how many edges remain to be decided.
+  std::vector<uint32_t> degree(g.num_nodes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) degree[v] = g.Degree(v);
+
+  graph::Graph out(g.num_nodes());
+  for (const graph::Edge& e : g.CanonicalEdges()) {
+    if (degree[e.u] > k || degree[e.v] > k) {
+      // Delete: the endpoints' current degrees drop.
+      --degree[e.u];
+      --degree[e.v];
+    } else {
+      out.AddEdge(e.u, e.v);
+    }
+  }
+  return out;
+}
+
+graph::AttributedGraph TruncateEdges(const graph::AttributedGraph& g,
+                                     uint32_t k) {
+  graph::AttributedGraph out(TruncateEdges(g.structure(), k),
+                             g.num_attributes());
+  for (graph::NodeId v = 0; v < g.num_nodes(); ++v) {
+    out.set_attribute(v, g.attribute(v));
+  }
+  return out;
+}
+
+uint32_t HeuristicTruncationK(graph::NodeId n) {
+  uint32_t k = static_cast<uint32_t>(
+      std::llround(std::cbrt(static_cast<double>(n))));
+  return k < 2 ? 2 : k;
+}
+
+}  // namespace agmdp::dp

@@ -1,0 +1,31 @@
+// Edge truncation operator µ(G, k) — Definition 2 of the paper (after
+// Blocki et al.).
+//
+// Fix the canonical (lexicographic) edge order; iterate the edges in order
+// and delete an edge iff, at processing time, either endpoint's *current*
+// degree exceeds k (deletions take effect immediately, matching the proof of
+// Proposition 1). The result is a k-bounded graph, and computing the edge
+// count queries Q_F on it has global sensitivity 2k (Proposition 1).
+#pragma once
+
+#include <cstdint>
+
+#include "src/graph/attributed_graph.h"
+#include "src/graph/graph.h"
+
+namespace agmdp::dp {
+
+/// Returns µ(G, k). Requires k >= 1.
+graph::Graph TruncateEdges(const graph::Graph& g, uint32_t k);
+
+/// Attributed variant; attribute vectors are untouched (truncation only
+/// looks at degrees).
+graph::AttributedGraph TruncateEdges(const graph::AttributedGraph& g,
+                                     uint32_t k);
+
+/// The paper's data-independent heuristic k = n^(1/3) (Section 3.1), at
+/// least 2 (k = 1 would make the 2k sensitivity argument of Proposition 1
+/// degenerate and deletes nearly everything anyway).
+uint32_t HeuristicTruncationK(graph::NodeId n);
+
+}  // namespace agmdp::dp

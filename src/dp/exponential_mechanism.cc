@@ -1,0 +1,36 @@
+#include "src/dp/exponential_mechanism.h"
+
+#include <cmath>
+
+namespace agmdp::dp {
+
+util::Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
+                                          double sensitivity, double epsilon,
+                                          util::Rng& rng) {
+  if (scores.empty()) {
+    return util::Status::InvalidArgument(
+        "ExponentialMechanism: empty candidate set");
+  }
+  if (sensitivity <= 0.0 || epsilon <= 0.0) {
+    return util::Status::InvalidArgument(
+        "ExponentialMechanism: sensitivity and epsilon must be positive");
+  }
+  // Gumbel-max: argmax_i (eps * s_i / (2 * sens) + Gumbel(0,1)) is distributed
+  // as the exponential mechanism over the s_i.
+  const double factor = epsilon / (2.0 * sensitivity);
+  size_t best_index = 0;
+  double best_value = -1.0 / 0.0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    double u = rng.UniformDouble();
+    if (u <= 0.0) u = 0x1.0p-53;
+    const double gumbel = -std::log(-std::log(u));
+    const double value = factor * scores[i] + gumbel;
+    if (value > best_value) {
+      best_value = value;
+      best_index = i;
+    }
+  }
+  return best_index;
+}
+
+}  // namespace agmdp::dp

@@ -1,0 +1,24 @@
+// The exponential mechanism (McSherry & Talwar) over a finite candidate set.
+//
+// Samples index i with probability proportional to
+// exp(epsilon * score[i] / (2 * sensitivity)). Implemented with the
+// Gumbel-max trick for numerical stability (equivalent distribution, no
+// overflow for large score ranges).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::dp {
+
+/// Returns the sampled candidate index. `sensitivity` is the global
+/// sensitivity of the score function. Fails on empty scores or non-positive
+/// epsilon/sensitivity.
+util::Result<size_t> ExponentialMechanism(const std::vector<double>& scores,
+                                          double sensitivity, double epsilon,
+                                          util::Rng& rng);
+
+}  // namespace agmdp::dp

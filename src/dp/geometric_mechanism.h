@@ -1,0 +1,22 @@
+// Two-sided geometric ("discrete Laplace") mechanism: the integer-valued
+// analogue of the Laplace mechanism. For integer counts it satisfies pure
+// eps-DP with P[noise = z] proportional to alpha^{|z|},
+// alpha = exp(-eps / sensitivity), and never produces fractional counts —
+// convenient for count queries whose downstream consumers want integers.
+#pragma once
+
+#include <cstdint>
+
+#include "src/util/rng.h"
+
+namespace agmdp::dp {
+
+/// Samples two-sided geometric noise for the given eps/sensitivity.
+int64_t TwoSidedGeometricNoise(double epsilon, double sensitivity,
+                               util::Rng& rng);
+
+/// value + noise (eps-DP for integer queries with the given L1 sensitivity).
+int64_t GeometricMechanism(int64_t value, double sensitivity, double epsilon,
+                           util::Rng& rng);
+
+}  // namespace agmdp::dp

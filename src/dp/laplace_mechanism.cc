@@ -1,0 +1,44 @@
+#include "src/dp/laplace_mechanism.h"
+
+#include <algorithm>
+
+#include "src/util/check.h"
+
+namespace agmdp::dp {
+
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        util::Rng& rng) {
+  AGMDP_CHECK(sensitivity > 0.0);
+  AGMDP_CHECK(epsilon > 0.0);
+  return value + rng.Laplace(sensitivity / epsilon);
+}
+
+std::vector<double> NoisyCounts(const std::vector<double>& counts,
+                                double sensitivity, double epsilon,
+                                util::Rng& rng) {
+  std::vector<double> noisy(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    noisy[i] = LaplaceMechanism(counts[i], sensitivity, epsilon, rng);
+  }
+  return noisy;
+}
+
+std::vector<double> ClampAndNormalize(std::vector<double> values, double lo,
+                                      double hi) {
+  AGMDP_CHECK(lo <= hi);
+  double sum = 0.0;
+  for (double& v : values) {
+    v = std::clamp(v, lo, hi);
+    sum += v;
+  }
+  if (sum <= 0.0) {
+    if (values.empty()) return values;
+    std::fill(values.begin(), values.end(),
+              1.0 / static_cast<double>(values.size()));
+    return values;
+  }
+  for (double& v : values) v /= sum;
+  return values;
+}
+
+}  // namespace agmdp::dp

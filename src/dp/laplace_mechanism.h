@@ -1,0 +1,29 @@
+// The Laplace mechanism and the clamp-and-normalize post-processing used by
+// the paper's count-based estimators (Algorithms 4 and 5).
+#pragma once
+
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::dp {
+
+/// Adds Laplace(sensitivity / epsilon) noise to a single value.
+double LaplaceMechanism(double value, double sensitivity, double epsilon,
+                        util::Rng& rng);
+
+/// Adds independent Laplace(sensitivity / epsilon) noise to each count.
+std::vector<double> NoisyCounts(const std::vector<double>& counts,
+                                double sensitivity, double epsilon,
+                                util::Rng& rng);
+
+/// Clamps each value to [lo, hi] then normalizes to a probability
+/// distribution. If everything clamps to zero the result is uniform (the
+/// least-informative valid distribution — the paper does not hit this case
+/// but production code must terminate sensibly). This is pure
+/// post-processing and consumes no budget.
+std::vector<double> ClampAndNormalize(std::vector<double> values, double lo,
+                                      double hi);
+
+}  // namespace agmdp::dp

@@ -1,0 +1,49 @@
+#include "src/dp/privacy_budget.h"
+
+#include "src/util/check.h"
+
+namespace agmdp::dp {
+
+namespace {
+constexpr double kBudgetTolerance = 1e-9;
+}  // namespace
+
+PrivacyAccountant::PrivacyAccountant(double total_epsilon)
+    : total_(total_epsilon) {
+  AGMDP_CHECK_MSG(total_epsilon > 0.0, "privacy budget must be positive");
+}
+
+util::Status PrivacyAccountant::Spend(double epsilon, std::string label) {
+  if (epsilon <= 0.0) {
+    return util::Status::InvalidArgument("epsilon spend must be positive");
+  }
+  if (spent_ + epsilon > total_ + kBudgetTolerance) {
+    return util::Status::FailedPrecondition(
+        "privacy budget exhausted: spending " + std::to_string(epsilon) +
+        " for '" + label + "' exceeds remaining " +
+        std::to_string(remaining()));
+  }
+  spent_ += epsilon;
+  ledger_.emplace_back(std::move(label), epsilon);
+  return util::Status::OK();
+}
+
+BudgetSplit BudgetSplit::EvenFourWay(double epsilon) {
+  BudgetSplit split;
+  split.theta_x = epsilon / 4.0;
+  split.theta_f = epsilon / 4.0;
+  split.degree_seq = epsilon / 4.0;
+  split.triangles = epsilon / 4.0;
+  return split;
+}
+
+BudgetSplit BudgetSplit::FclThreeWay(double epsilon) {
+  BudgetSplit split;
+  split.theta_x = epsilon / 4.0;
+  split.theta_f = epsilon / 4.0;
+  split.degree_seq = epsilon / 2.0;
+  split.triangles = 0.0;
+  return split;
+}
+
+}  // namespace agmdp::dp

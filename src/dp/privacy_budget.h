@@ -1,0 +1,62 @@
+// Privacy budget accounting via sequential composition (Section 2.3).
+//
+// AGM-DP splits a global epsilon among the parameter-learning steps; the
+// accountant enforces that the spends never exceed the total and records a
+// ledger so that tests (and callers) can audit exactly where budget went.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace agmdp::dp {
+
+/// \brief Tracks epsilon spends under sequential composition.
+class PrivacyAccountant {
+ public:
+  /// Total budget must be positive.
+  explicit PrivacyAccountant(double total_epsilon);
+
+  /// Records a spend of `epsilon` attributed to `label`. Fails with
+  /// FailedPrecondition if the spend would exceed the total budget (within a
+  /// small numerical tolerance) and with InvalidArgument for non-positive
+  /// epsilon.
+  util::Status Spend(double epsilon, std::string label);
+
+  double total() const { return total_; }
+  double spent() const { return spent_; }
+  double remaining() const { return total_ - spent_; }
+
+  /// (label, epsilon) pairs in spend order.
+  const std::vector<std::pair<std::string, double>>& ledger() const {
+    return ledger_;
+  }
+
+ private:
+  double total_;
+  double spent_ = 0.0;
+  std::vector<std::pair<std::string, double>> ledger_;
+};
+
+/// How AGM-DP divides the global budget among its parameters (Section 5):
+/// TriCycLe uses four equal shares (ΘX, ΘF, S, n∆); FCL has no triangle
+/// count, so S gets half and ΘX/ΘF a quarter each.
+struct BudgetSplit {
+  double theta_x = 0.0;
+  double theta_f = 0.0;
+  double degree_seq = 0.0;
+  double triangles = 0.0;
+
+  double total() const {
+    return theta_x + theta_f + degree_seq + triangles;
+  }
+
+  /// Even four-way split used with TriCycLe.
+  static BudgetSplit EvenFourWay(double epsilon);
+  /// Split used with FCL: S = eps/2, ΘX = ΘF = eps/4, triangles = 0.
+  static BudgetSplit FclThreeWay(double epsilon);
+};
+
+}  // namespace agmdp::dp

@@ -1,0 +1,44 @@
+#include "src/dp/sample_aggregate.h"
+
+#include <numeric>
+
+namespace agmdp::dp {
+
+util::Result<std::vector<std::vector<graph::NodeId>>> RandomNodePartition(
+    graph::NodeId n, uint32_t group_size, util::Rng& rng) {
+  if (group_size < 1 || group_size > n) {
+    return util::Status::InvalidArgument(
+        "RandomNodePartition: group_size must be in [1, n]");
+  }
+  std::vector<graph::NodeId> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(&order);
+
+  const uint32_t num_groups = n / group_size;  // >= 1 by the check above
+  std::vector<std::vector<graph::NodeId>> groups(num_groups);
+  for (graph::NodeId i = 0; i < n; ++i) {
+    uint32_t group = i / group_size;
+    if (group >= num_groups) group = num_groups - 1;  // remainder
+    groups[group].push_back(order[i]);
+  }
+  return groups;
+}
+
+util::Result<std::vector<double>> AverageVectors(
+    const std::vector<std::vector<double>>& vectors) {
+  if (vectors.empty()) {
+    return util::Status::InvalidArgument("AverageVectors: no vectors");
+  }
+  const size_t dim = vectors.front().size();
+  std::vector<double> mean(dim, 0.0);
+  for (const auto& v : vectors) {
+    if (v.size() != dim) {
+      return util::Status::InvalidArgument("AverageVectors: ragged sizes");
+    }
+    for (size_t i = 0; i < dim; ++i) mean[i] += v[i];
+  }
+  for (double& x : mean) x /= static_cast<double>(vectors.size());
+  return mean;
+}
+
+}  // namespace agmdp::dp

@@ -1,0 +1,29 @@
+// Sample-and-aggregate over induced node subgraphs (Appendix B.2).
+//
+// The nodes are randomly partitioned into t = n / group_size disjoint groups;
+// working on the induced subgraphs guarantees that changing one node (its
+// attributes) touches exactly one subgraph, so averaging the per-subgraph
+// probability vectors has global sensitivity 2 / t.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::dp {
+
+/// Randomly partitions {0..n-1} into groups of `group_size` (the final group
+/// absorbs the remainder, so every node is assigned). Returns the groups.
+/// Fails if group_size < 1 or group_size > n.
+util::Result<std::vector<std::vector<graph::NodeId>>> RandomNodePartition(
+    graph::NodeId n, uint32_t group_size, util::Rng& rng);
+
+/// Component-wise mean of equally sized probability vectors. Fails on empty
+/// input or ragged sizes.
+util::Result<std::vector<double>> AverageVectors(
+    const std::vector<std::vector<double>>& vectors);
+
+}  // namespace agmdp::dp

@@ -1,0 +1,20 @@
+#include "src/graph/attribute_encoding.h"
+
+namespace agmdp::graph {
+
+std::pair<AttrConfig, AttrConfig> DecodeEdgeConfig(uint32_t index, int w) {
+  const uint32_t k = NumNodeConfigs(w);
+  AGMDP_CHECK(index < NumEdgeConfigs(w));
+  // Row a covers k - a indices; walk rows until the index falls inside.
+  // |Y^F_w| is at most ~500k for w <= 10, and decode is only used in tests
+  // and table formatting, so the linear walk is fine.
+  uint32_t a = 0;
+  uint32_t remaining = index;
+  while (remaining >= k - a) {
+    remaining -= k - a;
+    ++a;
+  }
+  return {a, a + remaining};
+}
+
+}  // namespace agmdp::graph

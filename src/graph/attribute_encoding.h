@@ -1,0 +1,46 @@
+// Encoders f_w and F_w from the paper (Section 2.2).
+//
+// A node's w binary attributes are bit-packed into an AttrConfig; f_w is then
+// the identity on {0, ..., 2^w - 1} (= the set Y_w). F_w maps the unordered
+// pair of endpoint configurations of an edge to a triangular index in
+// {0, ..., C(2^w + 1, 2) - 1} (= the set Y^F_w).
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace agmdp::graph {
+
+/// Bit-packed vector of w binary node attributes; bit j is attribute j.
+using AttrConfig = uint32_t;
+
+/// Number of node attribute configurations |Y_w| = 2^w. Requires 0<=w<=20
+/// (beyond that the count tables would not fit in memory anyway).
+inline uint32_t NumNodeConfigs(int w) {
+  AGMDP_CHECK(w >= 0 && w <= 20);
+  return 1u << w;
+}
+
+/// Number of edge attribute configurations |Y^F_w| = C(2^w + 1, 2), i.e. the
+/// number of unordered pairs (with repetition) of node configurations.
+inline uint32_t NumEdgeConfigs(int w) {
+  uint64_t k = NumNodeConfigs(w);
+  return static_cast<uint32_t>(k * (k + 1) / 2);
+}
+
+/// F_w: maps the unordered pair {a, b} to a triangular index. For a <= b the
+/// index is a*K - a*(a-1)/2 + (b-a) where K = 2^w; symmetric in (a, b).
+inline uint32_t EncodeEdgeConfig(AttrConfig a, AttrConfig b, int w) {
+  const uint64_t k = NumNodeConfigs(w);
+  AGMDP_CHECK(a < k && b < k);
+  if (a > b) std::swap(a, b);
+  const uint64_t ua = a;
+  return static_cast<uint32_t>(ua * k - ua * (ua - 1) / 2 + (b - a));
+}
+
+/// Inverse of EncodeEdgeConfig; returns (a, b) with a <= b.
+std::pair<AttrConfig, AttrConfig> DecodeEdgeConfig(uint32_t index, int w);
+
+}  // namespace agmdp::graph

@@ -1,0 +1,43 @@
+#include "src/graph/attributed_graph.h"
+
+#include <utility>
+
+#include "src/util/check.h"
+
+namespace agmdp::graph {
+
+AttributedGraph::AttributedGraph(NodeId num_nodes, int num_attributes)
+    : graph_(num_nodes), attrs_(num_nodes, 0), num_attributes_(num_attributes) {
+  AGMDP_CHECK(num_attributes >= 0 && num_attributes <= 20);
+}
+
+AttributedGraph::AttributedGraph(Graph graph, int num_attributes)
+    : graph_(std::move(graph)),
+      attrs_(graph_.num_nodes(), 0),
+      num_attributes_(num_attributes) {
+  AGMDP_CHECK(num_attributes >= 0 && num_attributes <= 20);
+}
+
+void AttributedGraph::set_attribute(NodeId v, AttrConfig value) {
+  AGMDP_CHECK(v < graph_.num_nodes());
+  AGMDP_CHECK(value < NumNodeConfigs(num_attributes_));
+  attrs_[v] = value;
+}
+
+util::Status AttributedGraph::SetAttributes(std::vector<AttrConfig> attrs) {
+  if (attrs.size() != graph_.num_nodes()) {
+    return util::Status::InvalidArgument(
+        "attribute vector count does not match node count");
+  }
+  const AttrConfig limit = NumNodeConfigs(num_attributes_);
+  for (AttrConfig a : attrs) {
+    if (a >= limit) {
+      return util::Status::InvalidArgument(
+          "attribute configuration out of range for w attributes");
+    }
+  }
+  attrs_ = std::move(attrs);
+  return util::Status::OK();
+}
+
+}  // namespace agmdp::graph

@@ -1,0 +1,46 @@
+// Attributed graph G = (N, E, X): an undirected simple graph plus a
+// bit-packed binary attribute vector per node (Section 2.1 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/attribute_encoding.h"
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+namespace agmdp::graph {
+
+/// \brief Graph with w binary attributes per node.
+class AttributedGraph {
+ public:
+  AttributedGraph() : num_attributes_(0) {}
+
+  /// Creates a graph with `num_nodes` nodes, all attribute vectors zero.
+  AttributedGraph(NodeId num_nodes, int num_attributes);
+
+  /// Wraps an existing structure; attribute vectors start at zero.
+  AttributedGraph(Graph graph, int num_attributes);
+
+  const Graph& structure() const { return graph_; }
+  Graph& structure() { return graph_; }
+
+  int num_attributes() const { return num_attributes_; }
+  NodeId num_nodes() const { return graph_.num_nodes(); }
+  uint64_t num_edges() const { return graph_.num_edges(); }
+
+  AttrConfig attribute(NodeId v) const { return attrs_[v]; }
+  void set_attribute(NodeId v, AttrConfig value);
+
+  const std::vector<AttrConfig>& attributes() const { return attrs_; }
+
+  /// Replaces all attribute vectors. Returns InvalidArgument on size or
+  /// range mismatch.
+  util::Status SetAttributes(std::vector<AttrConfig> attrs);
+
+ private:
+  Graph graph_;
+  std::vector<AttrConfig> attrs_;
+  int num_attributes_;
+};
+
+}  // namespace agmdp::graph

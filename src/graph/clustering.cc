@@ -1,0 +1,49 @@
+#include "src/graph/clustering.h"
+
+#include "src/graph/triangle_count.h"
+
+namespace agmdp::graph {
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g) {
+  std::vector<uint64_t> triangles = PerNodeTriangles(g);
+  std::vector<double> coeffs(g.num_nodes(), 0.0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    uint64_t d = g.Degree(v);
+    if (d >= 2) {
+      coeffs[v] = 2.0 * static_cast<double>(triangles[v]) /
+                  (static_cast<double>(d) * static_cast<double>(d - 1));
+    }
+  }
+  return coeffs;
+}
+
+double AverageLocalClustering(const Graph& g) {
+  if (g.num_nodes() == 0) return 0.0;
+  std::vector<double> coeffs = LocalClusteringCoefficients(g);
+  double sum = 0.0;
+  for (double c : coeffs) sum += c;
+  return sum / static_cast<double>(coeffs.size());
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  uint64_t wedges = CountWedges(g);
+  if (wedges == 0) return 0.0;
+  return 3.0 * static_cast<double>(CountTriangles(g)) /
+         static_cast<double>(wedges);
+}
+
+std::vector<double> DegreeWiseClustering(const Graph& g) {
+  std::vector<double> coeffs = LocalClusteringCoefficients(g);
+  std::vector<double> sum(g.MaxDegree() + 1, 0.0);
+  std::vector<uint64_t> count(g.MaxDegree() + 1, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    sum[g.Degree(v)] += coeffs[v];
+    ++count[g.Degree(v)];
+  }
+  for (size_t d = 0; d < sum.size(); ++d) {
+    if (count[d] > 0) sum[d] /= static_cast<double>(count[d]);
+  }
+  return sum;
+}
+
+}  // namespace agmdp::graph

@@ -1,0 +1,29 @@
+// Clustering coefficient statistics (Section 5.1 of the paper).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace agmdp::graph {
+
+/// Local clustering coefficient per node: C_i = 2 t_i / (d_i (d_i - 1)),
+/// where t_i is the number of triangles through node i. Nodes of degree < 2
+/// get C_i = 0 (the usual convention, also what CCDF plots assume).
+std::vector<double> LocalClusteringCoefficients(const Graph& g);
+
+/// Average of the local clustering coefficients, C̄ = (1/n) Σ C_i.
+double AverageLocalClustering(const Graph& g);
+
+/// Global clustering coefficient (transitivity): C = 3 n∆ / n_W. Returns 0
+/// for wedge-free graphs.
+double GlobalClusteringCoefficient(const Graph& g);
+
+/// Degree-wise clustering profile c_d: the mean local clustering
+/// coefficient over nodes of degree d, indexed by degree (length
+/// MaxDegree + 1; degrees with no nodes get 0). This is the statistic the
+/// BTER model is parameterized by (Section 3.3 discusses why that makes
+/// BTER hard to release under DP).
+std::vector<double> DegreeWiseClustering(const Graph& g);
+
+}  // namespace agmdp::graph

@@ -1,0 +1,88 @@
+#include "src/graph/components.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "src/util/check.h"
+
+namespace agmdp::graph {
+
+std::vector<uint32_t> ConnectedComponents(const Graph& g,
+                                          uint32_t* num_components) {
+  const NodeId n = g.num_nodes();
+  constexpr uint32_t kUnvisited = 0xffffffffu;
+  std::vector<uint32_t> label(n, kUnvisited);
+  std::vector<NodeId> stack;
+  uint32_t next_label = 0;
+  for (NodeId start = 0; start < n; ++start) {
+    if (label[start] != kUnvisited) continue;
+    label[start] = next_label;
+    stack.push_back(start);
+    while (!stack.empty()) {
+      NodeId u = stack.back();
+      stack.pop_back();
+      for (NodeId v : g.Neighbors(u)) {
+        if (label[v] == kUnvisited) {
+          label[v] = next_label;
+          stack.push_back(v);
+        }
+      }
+    }
+    ++next_label;
+  }
+  if (num_components != nullptr) *num_components = next_label;
+  return label;
+}
+
+bool IsConnected(const Graph& g) {
+  uint32_t count = 0;
+  ConnectedComponents(g, &count);
+  return count <= 1;
+}
+
+std::vector<NodeId> LargestComponent(const Graph& g) {
+  uint32_t count = 0;
+  std::vector<uint32_t> label = ConnectedComponents(g, &count);
+  if (count == 0) return {};
+  std::vector<uint64_t> sizes(count, 0);
+  for (uint32_t l : label) ++sizes[l];
+  uint32_t best =
+      static_cast<uint32_t>(std::max_element(sizes.begin(), sizes.end()) -
+                            sizes.begin());
+  std::vector<NodeId> nodes;
+  nodes.reserve(sizes[best]);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    if (label[v] == best) nodes.push_back(v);
+  }
+  return nodes;
+}
+
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes) {
+  std::unordered_map<NodeId, NodeId> remap;
+  remap.reserve(nodes.size());
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    AGMDP_CHECK(nodes[i] < g.num_nodes());
+    bool inserted = remap.emplace(nodes[i], i).second;
+    AGMDP_CHECK_MSG(inserted, "InducedSubgraph: duplicate node id");
+  }
+  Graph sub(static_cast<NodeId>(nodes.size()));
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    for (NodeId v : g.Neighbors(nodes[i])) {
+      auto it = remap.find(v);
+      if (it != remap.end() && i < it->second) sub.AddEdge(i, it->second);
+    }
+  }
+  return sub;
+}
+
+AttributedGraph InducedSubgraph(const AttributedGraph& g,
+                                const std::vector<NodeId>& nodes) {
+  AttributedGraph sub(InducedSubgraph(g.structure(), nodes),
+                      g.num_attributes());
+  for (NodeId i = 0; i < nodes.size(); ++i) {
+    sub.set_attribute(i, g.attribute(nodes[i]));
+  }
+  return sub;
+}
+
+}  // namespace agmdp::graph

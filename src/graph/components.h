@@ -1,0 +1,34 @@
+// Connected components, largest-component extraction, induced subgraphs.
+//
+// Used for dataset preprocessing (the paper keeps only the main connected
+// component), for TriCycLe's orphan post-processing, and for the
+// sample-and-aggregate ΘF estimator (node-partition induced subgraphs).
+#pragma once
+
+#include <vector>
+
+#include "src/graph/attributed_graph.h"
+#include "src/graph/graph.h"
+
+namespace agmdp::graph {
+
+/// Component label per node (labels are 0-based, contiguous). Sets
+/// *num_components if non-null.
+std::vector<uint32_t> ConnectedComponents(const Graph& g,
+                                          uint32_t* num_components);
+
+/// True iff the graph has exactly one connected component (vacuously true
+/// for the empty graph).
+bool IsConnected(const Graph& g);
+
+/// Node ids of the largest connected component, ascending.
+std::vector<NodeId> LargestComponent(const Graph& g);
+
+/// Subgraph induced by `nodes` (ids relabeled to 0..k-1 in the given order).
+Graph InducedSubgraph(const Graph& g, const std::vector<NodeId>& nodes);
+
+/// Attributed version: structure and attribute vectors restricted to `nodes`.
+AttributedGraph InducedSubgraph(const AttributedGraph& g,
+                                const std::vector<NodeId>& nodes);
+
+}  // namespace agmdp::graph

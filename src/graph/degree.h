@@ -1,0 +1,25 @@
+// Degree sequences, histograms and summary statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace agmdp::graph {
+
+/// Degree of every node, indexed by node id.
+std::vector<uint32_t> DegreeSequence(const Graph& g);
+
+/// Degree sequence sorted ascending (the paper's S, sorted for constrained
+/// inference).
+std::vector<uint32_t> SortedDegreeSequence(const Graph& g);
+
+/// Histogram over degree values: hist[d] = number of nodes with degree d,
+/// length MaxDegree + 1 (length 1 for edgeless graphs).
+std::vector<uint64_t> DegreeHistogram(const Graph& g);
+
+/// Average degree 2m/n (0 for empty graphs).
+double AverageDegree(const Graph& g);
+
+}  // namespace agmdp::graph

@@ -1,0 +1,163 @@
+#include "src/graph/graph_io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace agmdp::graph {
+
+namespace {
+
+util::Status OpenForRead(const std::string& path, std::ifstream* in) {
+  in->open(path);
+  if (!in->is_open()) {
+    return util::Status::IoError("cannot open for reading: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Status OpenForWrite(const std::string& path, std::ofstream* out) {
+  out->open(path, std::ios::trunc);
+  if (!out->is_open()) {
+    return util::Status::IoError("cannot open for writing: " + path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out;
+  if (auto st = OpenForWrite(path, &out); !st.ok()) return st;
+  out << "n " << g.num_nodes() << "\n";
+  for (const Edge& e : g.CanonicalEdges()) {
+    out << e.u << " " << e.v << "\n";
+  }
+  out.flush();
+  if (!out.good()) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<Graph> ReadEdgeList(const std::string& path) {
+  std::ifstream in;
+  if (auto st = OpenForRead(path, &in); !st.ok()) return st;
+  std::string line;
+  Graph g;
+  bool have_header = false;
+  uint64_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    if (!have_header) {
+      std::string tag;
+      uint64_t n = 0;
+      if (!(ss >> tag >> n) || tag != "n") {
+        return util::Status::IoError("bad edge-list header in " + path);
+      }
+      g = Graph(static_cast<NodeId>(n));
+      have_header = true;
+      continue;
+    }
+    uint64_t u = 0, v = 0;
+    if (!(ss >> u >> v)) {
+      return util::Status::IoError("bad edge at " + path + ":" +
+                                   std::to_string(line_no));
+    }
+    if (u >= g.num_nodes() || v >= g.num_nodes() || u == v) {
+      return util::Status::IoError("edge out of range at " + path + ":" +
+                                   std::to_string(line_no));
+    }
+    g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  if (!have_header) {
+    return util::Status::IoError("missing edge-list header in " + path);
+  }
+  return g;
+}
+
+util::Status WriteAttributedGraph(const AttributedGraph& g,
+                                  const std::string& path_prefix) {
+  if (auto st = WriteEdgeList(g.structure(), path_prefix + ".edges");
+      !st.ok()) {
+    return st;
+  }
+  std::ofstream out;
+  if (auto st = OpenForWrite(path_prefix + ".attrs", &out); !st.ok()) {
+    return st;
+  }
+  out << "n " << g.num_nodes() << " w " << g.num_attributes() << "\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << v << " " << g.attribute(v) << "\n";
+  }
+  out.flush();
+  if (!out.good()) {
+    return util::Status::IoError("write failed: " + path_prefix + ".attrs");
+  }
+  return util::Status::OK();
+}
+
+util::Status WriteGraphMl(const AttributedGraph& g, const std::string& path) {
+  std::ofstream out;
+  if (auto st = OpenForWrite(path, &out); !st.ok()) return st;
+  out << "<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n"
+      << "<graphml xmlns=\"http://graphml.graphdrawing.org/xmlns\">\n";
+  for (int a = 0; a < g.num_attributes(); ++a) {
+    out << "  <key id=\"a" << a << "\" for=\"node\" attr.name=\"attr" << a
+        << "\" attr.type=\"int\"/>\n";
+  }
+  out << "  <graph id=\"G\" edgedefault=\"undirected\">\n";
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    out << "    <node id=\"n" << v << "\">";
+    for (int a = 0; a < g.num_attributes(); ++a) {
+      out << "<data key=\"a" << a << "\">" << ((g.attribute(v) >> a) & 1u)
+          << "</data>";
+    }
+    out << "</node>\n";
+  }
+  uint64_t edge_id = 0;
+  for (const Edge& e : g.structure().CanonicalEdges()) {
+    out << "    <edge id=\"e" << edge_id++ << "\" source=\"n" << e.u
+        << "\" target=\"n" << e.v << "\"/>\n";
+  }
+  out << "  </graph>\n</graphml>\n";
+  out.flush();
+  if (!out.good()) return util::Status::IoError("write failed: " + path);
+  return util::Status::OK();
+}
+
+util::Result<AttributedGraph> ReadAttributedGraph(
+    const std::string& path_prefix) {
+  auto edges = ReadEdgeList(path_prefix + ".edges");
+  if (!edges.ok()) return edges.status();
+
+  std::ifstream in;
+  if (auto st = OpenForRead(path_prefix + ".attrs", &in); !st.ok()) return st;
+  std::string line;
+  if (!std::getline(in, line)) {
+    return util::Status::IoError("empty attribute file");
+  }
+  std::istringstream header(line);
+  std::string tag_n, tag_w;
+  uint64_t n = 0;
+  int w = 0;
+  if (!(header >> tag_n >> n >> tag_w >> w) || tag_n != "n" || tag_w != "w") {
+    return util::Status::IoError("bad attribute header: " + path_prefix);
+  }
+  if (n != edges.value().num_nodes()) {
+    return util::Status::IoError("attribute/edge node count mismatch");
+  }
+  AttributedGraph g(std::move(edges).value(), w);
+  const AttrConfig limit = NumNodeConfigs(w);
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    uint64_t v = 0, config = 0;
+    if (!(ss >> v >> config) || v >= n || config >= limit) {
+      return util::Status::IoError("bad attribute line: " + line);
+    }
+    g.set_attribute(static_cast<NodeId>(v), static_cast<AttrConfig>(config));
+  }
+  return g;
+}
+
+}  // namespace agmdp::graph

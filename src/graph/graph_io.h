@@ -1,0 +1,34 @@
+// Plain-text persistence for (attributed) graphs.
+//
+// Edge-list format:
+//   # comment lines are ignored
+//   n <num_nodes>
+//   <u> <v>          one line per edge
+//
+// Attribute format (one file per graph):
+//   n <num_nodes> w <num_attributes>
+//   <node_id> <config>   config is the bit-packed attribute vector
+#pragma once
+
+#include <string>
+
+#include "src/graph/attributed_graph.h"
+#include "src/graph/graph.h"
+#include "src/util/status.h"
+
+namespace agmdp::graph {
+
+util::Status WriteEdgeList(const Graph& g, const std::string& path);
+util::Result<Graph> ReadEdgeList(const std::string& path);
+
+/// Writes <path>.edges and <path>.attrs.
+util::Status WriteAttributedGraph(const AttributedGraph& g,
+                                  const std::string& path_prefix);
+util::Result<AttributedGraph> ReadAttributedGraph(
+    const std::string& path_prefix);
+
+/// Exports to GraphML (one <data> key per binary attribute) for external
+/// tools — Gephi, NetworkX, igraph all ingest this directly.
+util::Status WriteGraphMl(const AttributedGraph& g, const std::string& path);
+
+}  // namespace agmdp::graph

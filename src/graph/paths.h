@@ -1,0 +1,37 @@
+// Shortest-path statistics (BFS-based). Average path length and effective
+// diameter are standard structural-fidelity checks for synthetic social
+// graphs; the extended-stats bench uses them to stress AGM-DP beyond the
+// statistics its models explicitly target.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace agmdp::graph {
+
+/// BFS distances from `source` (unreachable nodes get UINT32_MAX).
+std::vector<uint32_t> BfsDistances(const Graph& g, NodeId source);
+
+/// Longest shortest path from `source` to any reachable node.
+uint32_t Eccentricity(const Graph& g, NodeId source);
+
+struct PathStats {
+  /// Mean finite pairwise distance over the sampled sources.
+  double avg_path_length = 0.0;
+  /// Max distance observed from any sampled source (lower bound on the
+  /// diameter; exact when all nodes are sampled).
+  uint32_t diameter_lower_bound = 0;
+  /// 90th-percentile distance ("effective diameter").
+  double effective_diameter = 0.0;
+};
+
+/// Estimates path statistics by running BFS from `sample_sources` uniformly
+/// random sources (all nodes when sample_sources >= n; deterministic given
+/// rng). Unreachable pairs are excluded from the averages.
+PathStats EstimatePathStats(const Graph& g, uint32_t sample_sources,
+                            util::Rng& rng);
+
+}  // namespace agmdp::graph

@@ -1,0 +1,39 @@
+// Block Two-level Erdős-Rényi (BTER) model — Seshadhri, Kolda & Pinar.
+//
+// Section 3.3 of the paper evaluates BTER as a structural-model candidate
+// and rejects it for the DP pipeline: its parameters (degree-wise
+// clustering coefficients) have high global sensitivity under edge
+// adjacency. It is implemented here as a *non-private* comparison baseline
+// so that claim can be examined, and because it is a strong clustering
+// model in its own right.
+//
+// Phase 1 groups nodes of similar degree into "affinity blocks" of size
+// d + 1 wired as dense ER subgraphs whose density is chosen to realize the
+// target degree-wise clustering; phase 2 distributes each node's residual
+// expected degree with a Chung-Lu pass.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::models {
+
+struct BterParams {
+  /// Desired degrees per synthetic node.
+  std::vector<uint32_t> degrees;
+  /// Degree-wise mean local clustering profile, indexed by degree.
+  std::vector<double> clustering_by_degree;
+};
+
+/// Measures both parameter sets from an input graph (non-private).
+BterParams FitBter(const graph::Graph& g);
+
+/// Generates a BTER graph. Fails on an empty degree sequence.
+util::Result<graph::Graph> GenerateBter(const BterParams& params,
+                                        util::Rng& rng);
+
+}  // namespace agmdp::models

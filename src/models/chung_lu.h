@@ -1,0 +1,51 @@
+// Chung-Lu random graphs via the Fast Chung-Lu (FCL) sampler, with optional
+// bias correction (the cFCL variant the paper uses; Section 3.3).
+//
+// FCL samples both endpoints of each edge from the degree-proportional pi
+// distribution and rejects self-loops and duplicates. Rejection hits
+// high-degree nodes hardest (their proposals collide more often), biasing
+// realized degrees low; cFCL compensates with one calibration pass that
+// reweights pi by the observed shortfall (DESIGN.md substitution #5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/models/edge_filter.h"
+#include "src/util/alias_sampler.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::models {
+
+/// Builds the pi distribution (probability proportional to degree). Nodes of
+/// degree one get weight zero when `exclude_degree_one` (TriCycLe's orphan
+/// extension: degree-one nodes cannot be in triangles and are wired up in
+/// post-processing instead). Fails if all weights are zero.
+util::Result<util::AliasSampler> BuildPiSampler(
+    const std::vector<uint32_t>& degrees, bool exclude_degree_one);
+
+struct ChungLuOptions {
+  /// cFCL bias-correction pass.
+  bool bias_correction = true;
+  /// Target edge count; 0 means sum(degrees) / 2.
+  uint64_t target_edges = 0;
+  /// Give up after this many proposals per requested edge (guards against
+  /// stalls when an acceptance filter suppresses nearly every pair).
+  uint64_t max_proposals_per_edge = 200;
+  /// Optional acceptance filter (AGM attribute correlations).
+  EdgeFilter filter;
+  /// If non-null, receives the edges of the returned graph in insertion
+  /// order (TriCycLe/TCL seed their edge-age queues from this).
+  std::vector<graph::Edge>* insertion_order = nullptr;
+};
+
+/// Generates an FCL graph matching the expected degree sequence. The result
+/// may have fewer edges than requested if the proposal budget runs out; this
+/// is reported, not an error (matching the accept/reject design of AGM).
+util::Result<graph::Graph> FastChungLu(const std::vector<uint32_t>& degrees,
+                                       util::Rng& rng,
+                                       const ChungLuOptions& options = {});
+
+}  // namespace agmdp::models

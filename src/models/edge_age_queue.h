@@ -1,0 +1,63 @@
+// Edge age bookkeeping for the rewiring models (TCL, TriCycLe).
+//
+// Both models repeatedly delete the *oldest* edge in the evolving graph, and
+// TriCycLe's undo step re-inserts a deleted edge as the *youngest* (the
+// paper stresses this detail — without it Algorithm 1 can live-lock). The
+// queue uses lazy invalidation: each (edge, sequence) entry is valid only if
+// the edge's latest sequence number still matches, so deletions and undo
+// re-insertions are O(1).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "src/graph/graph.h"
+
+namespace agmdp::models {
+
+/// \brief FIFO of edges by insertion age with O(1) touch/invalidate.
+class EdgeAgeQueue {
+ public:
+  /// Registers `e` as the youngest edge (fresh insertion or undo).
+  void Push(const graph::Edge& e) {
+    const uint64_t seq = ++counter_;
+    latest_[graph::PackEdge(e.u, e.v)] = seq;
+    queue_.push_back({e, seq});
+  }
+
+  /// Marks `e` as no longer tracked (its queue entry becomes stale).
+  void Invalidate(const graph::Edge& e) {
+    latest_.erase(graph::PackEdge(e.u, e.v));
+  }
+
+  /// Pops and returns the oldest valid edge; false if none remain.
+  bool PopOldest(graph::Edge* out) {
+    while (!queue_.empty()) {
+      const Entry entry = queue_.front();
+      queue_.pop_front();
+      auto it = latest_.find(graph::PackEdge(entry.edge.u, entry.edge.v));
+      if (it != latest_.end() && it->second == entry.seq) {
+        latest_.erase(it);
+        *out = entry.edge;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Number of live (valid) edges tracked.
+  size_t live_size() const { return latest_.size(); }
+
+ private:
+  struct Entry {
+    graph::Edge edge;
+    uint64_t seq;
+  };
+
+  std::deque<Entry> queue_;
+  std::unordered_map<uint64_t, uint64_t> latest_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace agmdp::models

@@ -1,0 +1,24 @@
+// Edge acceptance filters: how AGM injects attribute-correlation
+// accept/reject decisions into the structural models (Section 4).
+//
+// A filter sees a proposed edge {u, v} and returns whether to keep it; AGM's
+// filter accepts with probability A(F_w(x_u, x_v)). A null filter accepts
+// everything (plain structural sampling).
+#pragma once
+
+#include <functional>
+
+#include "src/graph/graph.h"
+#include "src/util/rng.h"
+
+namespace agmdp::models {
+
+using EdgeFilter =
+    std::function<bool(graph::NodeId u, graph::NodeId v, util::Rng& rng)>;
+
+inline bool AcceptEdge(const EdgeFilter& filter, graph::NodeId u,
+                       graph::NodeId v, util::Rng& rng) {
+  return !filter || filter(u, v, rng);
+}
+
+}  // namespace agmdp::models

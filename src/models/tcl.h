@@ -1,0 +1,57 @@
+// Transitive Chung-Lu (TCL) — Pfeiffer et al., the baseline model TriCycLe
+// is compared against in Figures 2-3 of the paper.
+//
+// TCL refines an FCL seed graph: with probability rho a new edge connects a
+// pi-sampled node to a uniform two-hop neighbor (creating a triangle), with
+// probability 1 - rho it connects two pi-sampled nodes; each successful
+// addition evicts the oldest edge. The process runs until every seed edge
+// has been replaced. rho is learned from the input graph by EM over the
+// per-edge mixture "transitive walk vs pi draw".
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+#include "src/models/chung_lu.h"
+#include "src/models/edge_filter.h"
+#include "src/models/post_process.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::models {
+
+struct TclOptions {
+  /// Run Algorithm 2 orphan rewiring on the final graph.
+  bool post_process = true;
+  /// cFCL bias correction for the seed graph.
+  bool seed_bias_correction = true;
+  /// Proposal budget as a multiple of m (the replacement loop is not
+  /// guaranteed to terminate when an acceptance filter is active).
+  uint64_t max_proposals_factor = 200;
+  /// Optional AGM acceptance filter.
+  EdgeFilter filter;
+  PostProcessOptions post_process_options;
+};
+
+/// Generates a TCL graph with expected degrees `degrees` and transitive
+/// closure probability `rho` in [0, 1].
+util::Result<graph::Graph> GenerateTcl(const std::vector<uint32_t>& degrees,
+                                       double rho, util::Rng& rng,
+                                       const TclOptions& options = {});
+
+struct TclFitOptions {
+  int em_iterations = 20;
+  /// Edges sampled per EM pass (all edges if the graph is smaller).
+  size_t sample_edges = 5000;
+  double initial_rho = 0.5;
+};
+
+/// EM estimate of rho on an input graph. For a sampled edge {i, j} the
+/// transitive likelihood P_TC(j | i) = (1/d_i) sum_{k in Γ(i) ∩ Γ(j)} 1/d_k
+/// is computed exactly; the CL likelihood is pi(j) = d_j / 2m. Returns rho
+/// in [0, 1].
+double FitTclRho(const graph::Graph& g, util::Rng& rng,
+                 const TclFitOptions& options = {});
+
+}  // namespace agmdp::models

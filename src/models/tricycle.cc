@@ -1,0 +1,134 @@
+#include "src/models/tricycle.h"
+
+#include <algorithm>
+
+#include "src/graph/triangle_count.h"
+#include "src/models/edge_age_queue.h"
+#include "src/util/check.h"
+
+namespace agmdp::models {
+
+util::Result<TriCycLeResult> GenerateTriCycLe(
+    const std::vector<uint32_t>& degrees, uint64_t target_triangles,
+    util::Rng& rng, const TriCycLeOptions& options) {
+  if (degrees.empty()) {
+    return util::Status::InvalidArgument("TriCycLe: empty degree sequence");
+  }
+  const auto n = static_cast<graph::NodeId>(degrees.size());
+
+  uint64_t total_degree = 0;
+  uint64_t degree_one = 0;
+  for (uint32_t d : degrees) {
+    total_degree += d;
+    if (d == 1) ++degree_one;
+  }
+  const uint64_t m_target = total_degree / 2;
+  if (m_target == 0) {
+    TriCycLeResult empty{graph::Graph(n), target_triangles, 0, 0,
+                         target_triangles == 0};
+    return empty;
+  }
+
+  // pi with degree-one nodes excluded (falling back to inclusion when the
+  // sequence has no higher-degree mass at all).
+  bool exclude = options.exclude_degree_one;
+  auto pi = BuildPiSampler(degrees, exclude);
+  if (!pi.ok() && exclude) {
+    exclude = false;
+    pi = BuildPiSampler(degrees, false);
+  }
+  if (!pi.ok()) return pi.status();
+
+  // Seed graph: m - |N1| edges over the pi-eligible nodes (line 2 + the
+  // extension), with edge insertion order recorded for the age queue.
+  std::vector<uint32_t> seed_degrees = degrees;
+  if (exclude) {
+    for (auto& d : seed_degrees) {
+      if (d == 1) d = 0;
+    }
+  }
+  ChungLuOptions seed_options;
+  seed_options.bias_correction = options.seed_bias_correction;
+  seed_options.target_edges =
+      exclude ? (m_target > degree_one ? m_target - degree_one : 1) : m_target;
+  seed_options.filter = options.filter;
+  std::vector<graph::Edge> insertion_order;
+  seed_options.insertion_order = &insertion_order;
+  auto seed = FastChungLu(seed_degrees, rng, seed_options);
+  if (!seed.ok()) return seed.status();
+  graph::Graph g = std::move(seed).value();
+
+  EdgeAgeQueue age;
+  for (const graph::Edge& e : insertion_order) age.Push(e);
+
+  if (options.post_process) {
+    std::vector<graph::Edge> added;
+    PostProcessGraph(&g, degrees, pi.value(), rng,
+                     options.post_process_options, &added);
+    for (const graph::Edge& e : added) age.Push(e);
+  }
+
+  uint64_t tau = graph::CountTriangles(g);
+  const uint64_t max_proposals =
+      options.max_proposals > 0 ? options.max_proposals : 200 * m_target;
+
+  TriCycLeResult result;
+  result.target_triangles = target_triangles;
+
+  uint64_t proposals = 0;
+  while (tau < target_triangles && proposals < max_proposals) {
+    ++proposals;
+    // Lines 5-9: friend-of-a-friend proposal.
+    auto vi = static_cast<graph::NodeId>(pi.value().Sample(rng));
+    if (g.Degree(vi) == 0) continue;
+    const auto& gamma_i = g.Neighbors(vi);
+    graph::NodeId vk = gamma_i[rng.UniformIndex(gamma_i.size())];
+    const auto& gamma_k = g.Neighbors(vk);
+    graph::NodeId vj = gamma_k[rng.UniformIndex(gamma_k.size())];
+    if (vj == vi || g.HasEdge(vi, vj)) continue;
+    // AGM-DP's modified line-10 condition: the acceptance filter gates the
+    // proposed edge (Section 4, footnote 4).
+    if (!AcceptEdge(options.filter, vi, vj, rng)) continue;
+
+    // Line 11: oldest live edge. Entries whose edge was deleted by
+    // post-processing are skipped lazily.
+    graph::Edge oldest;
+    bool have_oldest = false;
+    while (age.PopOldest(&oldest)) {
+      if (g.HasEdge(oldest.u, oldest.v)) {
+        have_oldest = true;
+        break;
+      }
+    }
+    if (!have_oldest) break;  // nothing left to replace
+
+    // Lines 12-19: keep the swap only if the net triangle count would not
+    // decrease. The old edge is removed before evaluating the proposal
+    // (its presence could inflate CN_ij).
+    const uint32_t cn_old = g.CommonNeighborCount(oldest.u, oldest.v);
+    g.RemoveEdge(oldest.u, oldest.v);
+    const uint32_t cn_new = g.CommonNeighborCount(vi, vj);
+    if (cn_new >= cn_old) {
+      g.AddEdge(vi, vj);
+      age.Push(graph::Edge(vi, vj));
+      tau += cn_new - cn_old;
+    } else {
+      g.AddEdge(oldest.u, oldest.v);
+      age.Push(oldest);  // undo: re-inserted as the youngest edge
+    }
+  }
+
+  if (options.post_process) {
+    PostProcessGraph(&g, degrees, pi.value(), rng,
+                     options.post_process_options, nullptr);
+  }
+
+  result.achieved_triangles = graph::CountTriangles(g);
+  result.proposals = proposals;
+  result.reached_target = result.achieved_triangles >= target_triangles ||
+                          tau >= target_triangles;
+  result.graph = std::move(g);
+  return result;
+}
+
+}  // namespace agmdp::models

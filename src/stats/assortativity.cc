@@ -1,0 +1,54 @@
+#include "src/stats/assortativity.h"
+
+#include <cmath>
+#include <vector>
+
+namespace agmdp::stats {
+
+double DegreeAssortativity(const graph::Graph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  // Pearson correlation over the 2m ordered endpoint pairs; accumulate
+  // symmetric sums in one pass over edges.
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  g.ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    const double du = g.Degree(u), dv = g.Degree(v);
+    sum_xy += 2.0 * du * dv;
+    sum_x += du + dv;
+    sum_x2 += du * du + dv * dv;
+  });
+  const double count = 2.0 * static_cast<double>(g.num_edges());
+  const double mean = sum_x / count;
+  const double var = sum_x2 / count - mean * mean;
+  if (var <= 0.0) return 0.0;
+  const double cov = sum_xy / count - mean * mean;
+  return cov / var;
+}
+
+double AttributeAssortativity(const graph::AttributedGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  const uint32_t k = graph::NumNodeConfigs(g.num_attributes());
+  // Mixing matrix e[a][b]: fraction of (ordered) edge endpoints with
+  // configurations a and b.
+  std::vector<double> mixing(static_cast<size_t>(k) * k, 0.0);
+  g.structure().ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    const graph::AttrConfig a = g.attribute(u), b = g.attribute(v);
+    mixing[static_cast<size_t>(a) * k + b] += 1.0;
+    mixing[static_cast<size_t>(b) * k + a] += 1.0;
+  });
+  const double total = 2.0 * static_cast<double>(g.num_edges());
+  for (double& x : mixing) x /= total;
+
+  double trace = 0.0, squared = 0.0;
+  for (uint32_t a = 0; a < k; ++a) {
+    trace += mixing[static_cast<size_t>(a) * k + a];
+    // (e^2)_aa summed over a = sum over a,b of e_ab * e_ba; e is symmetric.
+    for (uint32_t b = 0; b < k; ++b) {
+      const double e_ab = mixing[static_cast<size_t>(a) * k + b];
+      squared += e_ab * e_ab;
+    }
+  }
+  if (1.0 - squared <= 1e-12) return 0.0;  // single category: undefined -> 0
+  return (trace - squared) / (1.0 - squared);
+}
+
+}  // namespace agmdp::stats

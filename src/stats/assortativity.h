@@ -1,0 +1,23 @@
+// Assortativity coefficients: degree assortativity (Newman's r) and
+// attribute assortativity. Homophily ("birds of a feather", the phenomenon
+// ΘF models) is exactly positive attribute assortativity, so these are the
+// natural held-out statistics for judging whether AGM-DP preserved the
+// correlations it never directly optimized.
+#pragma once
+
+#include "src/graph/attributed_graph.h"
+#include "src/graph/graph.h"
+
+namespace agmdp::stats {
+
+/// Pearson correlation of endpoint degrees over edges, in [-1, 1]. Returns
+/// 0 for degenerate graphs (no edges / constant degrees).
+double DegreeAssortativity(const graph::Graph& g);
+
+/// Newman's discrete assortativity for the node attribute configuration:
+/// (tr(e) - sum(e^2)) / (1 - sum(e^2)) where e is the normalized mixing
+/// matrix over edges. 1 = perfect homophily, 0 = no correlation, negative =
+/// heterophily. Returns 0 for edgeless graphs or single-category mixes.
+double AttributeAssortativity(const graph::AttributedGraph& g);
+
+}  // namespace agmdp::stats

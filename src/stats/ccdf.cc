@@ -1,0 +1,41 @@
+#include "src/stats/ccdf.h"
+
+#include <algorithm>
+
+namespace agmdp::stats {
+
+std::vector<std::pair<double, double>> Ccdf(std::vector<double> values) {
+  std::vector<std::pair<double, double>> series;
+  if (values.empty()) return series;
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  size_t i = 0;
+  while (i < values.size()) {
+    const double x = values[i];
+    while (i < values.size() && values[i] == x) ++i;
+    // i values are <= x, so n - i are strictly greater.
+    series.emplace_back(x, static_cast<double>(values.size() - i) / n);
+  }
+  return series;
+}
+
+std::vector<std::pair<double, double>> DownsampleCcdf(
+    std::vector<std::pair<double, double>> series, size_t max_points) {
+  if (max_points < 2 || series.size() <= max_points) return series;
+  std::vector<std::pair<double, double>> out;
+  out.reserve(max_points);
+  const double step = static_cast<double>(series.size() - 1) /
+                      static_cast<double>(max_points - 1);
+  size_t last_index = series.size();  // sentinel
+  for (size_t i = 0; i < max_points; ++i) {
+    size_t index = static_cast<size_t>(i * step + 0.5);
+    if (index >= series.size()) index = series.size() - 1;
+    if (index != last_index) {
+      out.push_back(series[index]);
+      last_index = index;
+    }
+  }
+  return out;
+}
+
+}  // namespace agmdp::stats

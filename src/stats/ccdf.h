@@ -1,0 +1,20 @@
+// Complementary cumulative distribution functions, the y-axes of Figures 2
+// and 3 ("fraction of nodes with a greater degree / clustering coefficient
+// than the x-value").
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace agmdp::stats {
+
+/// (x, P[X > x]) at each distinct value of `values`, ascending in x.
+std::vector<std::pair<double, double>> Ccdf(std::vector<double> values);
+
+/// Thins a CCDF series to at most `max_points` (keeps endpoints); used when
+/// printing plot series as text tables.
+std::vector<std::pair<double, double>> DownsampleCcdf(
+    std::vector<std::pair<double, double>> series, size_t max_points);
+
+}  // namespace agmdp::stats

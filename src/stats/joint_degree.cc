@@ -1,0 +1,44 @@
+#include "src/stats/joint_degree.h"
+
+#include <cmath>
+
+namespace agmdp::stats {
+
+std::map<std::pair<uint32_t, uint32_t>, double> JointDegreeDistribution(
+    const graph::Graph& g) {
+  std::map<std::pair<uint32_t, uint32_t>, double> dist;
+  if (g.num_edges() == 0) return dist;
+  g.ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    uint32_t du = g.Degree(u), dv = g.Degree(v);
+    if (du > dv) std::swap(du, dv);
+    dist[{du, dv}] += 1.0;
+  });
+  const double m = static_cast<double>(g.num_edges());
+  for (auto& [key, mass] : dist) mass /= m;
+  return dist;
+}
+
+double JointDegreeDistance(const graph::Graph& a, const graph::Graph& b) {
+  const auto pa = JointDegreeDistribution(a);
+  const auto pb = JointDegreeDistribution(b);
+  double sum = 0.0;
+  auto ia = pa.begin();
+  auto ib = pb.begin();
+  // Merge-walk the two sorted supports.
+  while (ia != pa.end() || ib != pb.end()) {
+    double x = 0.0, y = 0.0;
+    if (ib == pb.end() || (ia != pa.end() && ia->first < ib->first)) {
+      x = (ia++)->second;
+    } else if (ia == pa.end() || ib->first < ia->first) {
+      y = (ib++)->second;
+    } else {
+      x = (ia++)->second;
+      y = (ib++)->second;
+    }
+    const double d = std::sqrt(x) - std::sqrt(y);
+    sum += d * d;
+  }
+  return std::sqrt(sum) / std::sqrt(2.0);
+}
+
+}  // namespace agmdp::stats

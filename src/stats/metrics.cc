@@ -1,0 +1,79 @@
+#include "src/stats/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/graph/degree.h"
+#include "src/util/check.h"
+
+namespace agmdp::stats {
+
+double RelativeError(double estimate, double truth, double floor) {
+  return std::fabs(estimate - truth) / std::max(std::fabs(truth), floor);
+}
+
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b) {
+  AGMDP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += std::fabs(a[i] - b[i]);
+  return sum / static_cast<double>(a.size());
+}
+
+double MeanRelativeError(const std::vector<double>& a,
+                         const std::vector<double>& b, double floor) {
+  AGMDP_CHECK(a.size() == b.size());
+  if (a.empty()) return 0.0;
+  double sum = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) sum += RelativeError(a[i], b[i], floor);
+  return sum / static_cast<double>(a.size());
+}
+
+double HellingerDistance(std::vector<double> p, std::vector<double> q) {
+  const size_t len = std::max(p.size(), q.size());
+  p.resize(len, 0.0);
+  q.resize(len, 0.0);
+  double sum = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    const double d = std::sqrt(std::max(0.0, p[i])) -
+                     std::sqrt(std::max(0.0, q[i]));
+    sum += d * d;
+  }
+  return std::sqrt(sum) / std::sqrt(2.0);
+}
+
+double KsStatistic(std::vector<uint32_t> s1, std::vector<uint32_t> s2) {
+  if (s1.empty() || s2.empty()) return s1.empty() == s2.empty() ? 0.0 : 1.0;
+  std::sort(s1.begin(), s1.end());
+  std::sort(s2.begin(), s2.end());
+  const double n1 = static_cast<double>(s1.size());
+  const double n2 = static_cast<double>(s2.size());
+  size_t i = 0, j = 0;
+  double ks = 0.0;
+  while (i < s1.size() && j < s2.size()) {
+    const uint32_t d = std::min(s1[i], s2[j]);
+    while (i < s1.size() && s1[i] == d) ++i;
+    while (j < s2.size() && s2[j] == d) ++j;
+    ks = std::max(ks, std::fabs(static_cast<double>(i) / n1 -
+                                static_cast<double>(j) / n2));
+  }
+  return ks;
+}
+
+std::vector<double> DegreeDistribution(const graph::Graph& g) {
+  std::vector<uint64_t> hist = graph::DegreeHistogram(g);
+  std::vector<double> dist(hist.size(), 0.0);
+  const double n = static_cast<double>(g.num_nodes());
+  if (n == 0.0) return dist;
+  for (size_t d = 0; d < hist.size(); ++d) {
+    dist[d] = static_cast<double>(hist[d]) / n;
+  }
+  return dist;
+}
+
+double DegreeHellinger(const graph::Graph& a, const graph::Graph& b) {
+  return HellingerDistance(DegreeDistribution(a), DegreeDistribution(b));
+}
+
+}  // namespace agmdp::stats

@@ -1,0 +1,39 @@
+// Error metrics from Section 5.1: MRE/MAE, Hellinger distance, and the
+// Kolmogorov-Smirnov statistic between degree distributions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace agmdp::stats {
+
+/// |estimate - truth| / max(|truth|, floor); floor guards division by zero.
+double RelativeError(double estimate, double truth, double floor = 1e-12);
+
+/// Mean of component-wise |a_i - b_i|. Requires equal sizes.
+double MeanAbsoluteError(const std::vector<double>& a,
+                         const std::vector<double>& b);
+
+/// Mean of component-wise relative errors |a_i - b_i| / max(|b_i|, floor).
+double MeanRelativeError(const std::vector<double>& a,
+                         const std::vector<double>& b, double floor = 1e-12);
+
+/// Hellinger distance between two discrete distributions (padded with zeros
+/// to a common length): (1/sqrt(2)) * || sqrt(p) - sqrt(q) ||_2.
+double HellingerDistance(std::vector<double> p, std::vector<double> q);
+
+/// KS statistic between the degree distributions of two sorted degree
+/// sequences: max_d |F_1(d) - F_2(d)| where F is the empirical CDF of the
+/// degree values.
+double KsStatistic(std::vector<uint32_t> s1, std::vector<uint32_t> s2);
+
+/// Normalized degree histogram of a graph (mass at each degree value).
+std::vector<double> DegreeDistribution(const graph::Graph& g);
+
+/// Hellinger distance between the degree distributions of two graphs (the
+/// paper's H_S).
+double DegreeHellinger(const graph::Graph& a, const graph::Graph& b);
+
+}  // namespace agmdp::stats

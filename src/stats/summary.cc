@@ -1,0 +1,90 @@
+#include "src/stats/summary.h"
+
+#include <cstdio>
+
+#include "src/agm/theta_f.h"
+#include "src/graph/clustering.h"
+#include "src/graph/degree.h"
+#include "src/graph/triangle_count.h"
+#include "src/stats/metrics.h"
+
+namespace agmdp::stats {
+
+GraphSummary Summarize(const graph::Graph& g) {
+  GraphSummary s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.max_degree = g.MaxDegree();
+  s.avg_degree = graph::AverageDegree(g);
+  s.triangles = graph::CountTriangles(g);
+  s.avg_local_clustering = graph::AverageLocalClustering(g);
+  s.global_clustering = graph::GlobalClusteringCoefficient(g);
+  return s;
+}
+
+std::string FormatSummary(const std::string& name, const GraphSummary& s) {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-14s n=%-8llu m=%-9llu dmax=%-6u davg=%-6.2f "
+                "tri=%-9llu C̄=%-6.4f C=%-6.4f",
+                name.c_str(),
+                static_cast<unsigned long long>(s.num_nodes),
+                static_cast<unsigned long long>(s.num_edges), s.max_degree,
+                s.avg_degree, static_cast<unsigned long long>(s.triangles),
+                s.avg_local_clustering, s.global_clustering);
+  return buffer;
+}
+
+UtilityErrors& UtilityErrors::operator+=(const UtilityErrors& o) {
+  theta_f_mae += o.theta_f_mae;
+  theta_f_hellinger += o.theta_f_hellinger;
+  degree_ks += o.degree_ks;
+  degree_hellinger += o.degree_hellinger;
+  triangles_re += o.triangles_re;
+  avg_clustering_re += o.avg_clustering_re;
+  global_clustering_re += o.global_clustering_re;
+  edges_re += o.edges_re;
+  return *this;
+}
+
+UtilityErrors UtilityErrors::operator/(double k) const {
+  UtilityErrors out = *this;
+  out.theta_f_mae /= k;
+  out.theta_f_hellinger /= k;
+  out.degree_ks /= k;
+  out.degree_hellinger /= k;
+  out.triangles_re /= k;
+  out.avg_clustering_re /= k;
+  out.global_clustering_re /= k;
+  out.edges_re /= k;
+  return out;
+}
+
+UtilityErrors CompareGraphs(const graph::AttributedGraph& original,
+                            const graph::AttributedGraph& synthetic) {
+  UtilityErrors e;
+  const graph::Graph& g0 = original.structure();
+  const graph::Graph& g1 = synthetic.structure();
+
+  const std::vector<double> theta0 = agm::ComputeThetaF(original);
+  const std::vector<double> theta1 = agm::ComputeThetaF(synthetic);
+  e.theta_f_mae = MeanAbsoluteError(theta1, theta0);
+  e.theta_f_hellinger = HellingerDistance(theta1, theta0);
+
+  e.degree_ks = KsStatistic(graph::SortedDegreeSequence(g1),
+                            graph::SortedDegreeSequence(g0));
+  e.degree_hellinger = DegreeHellinger(g1, g0);
+
+  e.triangles_re =
+      RelativeError(static_cast<double>(graph::CountTriangles(g1)),
+                    static_cast<double>(graph::CountTriangles(g0)));
+  e.avg_clustering_re = RelativeError(graph::AverageLocalClustering(g1),
+                                      graph::AverageLocalClustering(g0));
+  e.global_clustering_re = RelativeError(graph::GlobalClusteringCoefficient(g1),
+                                         graph::GlobalClusteringCoefficient(g0));
+  e.edges_re = RelativeError(static_cast<double>(g1.num_edges()),
+                             static_cast<double>(g0.num_edges()));
+  return e;
+}
+
+}  // namespace agmdp::stats

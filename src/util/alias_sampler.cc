@@ -1,0 +1,74 @@
+#include "src/util/alias_sampler.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace agmdp::util {
+
+Result<AliasSampler> AliasSampler::Build(const std::vector<double>& weights) {
+  if (weights.empty()) {
+    return Status::InvalidArgument("AliasSampler: empty weight vector");
+  }
+  double sum = 0.0;
+  for (double w : weights) {
+    if (w < 0.0 || !std::isfinite(w)) {
+      return Status::InvalidArgument(
+          "AliasSampler: weights must be finite and non-negative");
+    }
+    sum += w;
+  }
+  if (sum <= 0.0) {
+    return Status::InvalidArgument("AliasSampler: weights sum to zero");
+  }
+
+  const size_t n = weights.size();
+  AliasSampler sampler;
+  sampler.prob_.assign(n, 0.0);
+  sampler.alias_.assign(n, 0);
+  sampler.mass_.assign(n, 0.0);
+
+  // Vose's algorithm: split scaled masses into "small" (< 1) and "large"
+  // (>= 1) worklists and pair each small bucket with a large donor.
+  std::vector<double> scaled(n);
+  std::vector<uint32_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    sampler.mass_[i] = weights[i] / sum;
+    scaled[i] = sampler.mass_[i] * static_cast<double>(n);
+    if (scaled[i] < 1.0) {
+      small.push_back(static_cast<uint32_t>(i));
+    } else {
+      large.push_back(static_cast<uint32_t>(i));
+    }
+  }
+
+  while (!small.empty() && !large.empty()) {
+    uint32_t s = small.back();
+    small.pop_back();
+    uint32_t l = large.back();
+    large.pop_back();
+    sampler.prob_[s] = scaled[s];
+    sampler.alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    if (scaled[l] < 1.0) {
+      small.push_back(l);
+    } else {
+      large.push_back(l);
+    }
+  }
+  // Numerical leftovers: everything remaining gets probability 1 of itself.
+  for (uint32_t l : large) sampler.prob_[l] = 1.0;
+  for (uint32_t s : small) sampler.prob_[s] = 1.0;
+
+  return sampler;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  AGMDP_CHECK(!prob_.empty());
+  const size_t i = rng.UniformIndex(prob_.size());
+  return rng.UniformDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace agmdp::util

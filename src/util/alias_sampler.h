@@ -1,0 +1,40 @@
+// Walker/Vose alias method for O(1) sampling from a discrete distribution.
+//
+// Used for the Chung-Lu pi distribution (sample a node with probability
+// proportional to its degree) and for general weighted choices. Construction
+// is O(n); each sample costs one table lookup and one coin flip.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::util {
+
+/// \brief Samples indices i in [0, n) with probability weights[i] / sum(w).
+class AliasSampler {
+ public:
+  /// Builds the alias table. Weights must be non-negative with a positive
+  /// sum; returns InvalidArgument otherwise.
+  static Result<AliasSampler> Build(const std::vector<double>& weights);
+
+  /// Draws one index.
+  size_t Sample(Rng& rng) const;
+
+  /// Number of categories.
+  size_t size() const { return prob_.size(); }
+
+  /// Probability mass assigned to index i (for testing/debugging).
+  double MassOf(size_t i) const { return mass_[i]; }
+
+ private:
+  AliasSampler() = default;
+
+  std::vector<double> prob_;   // threshold per bucket
+  std::vector<uint32_t> alias_;  // alias target per bucket
+  std::vector<double> mass_;   // normalized input masses
+};
+
+}  // namespace agmdp::util

@@ -1,0 +1,35 @@
+// Internal invariant checks. These abort on failure and are meant for
+// programmer errors, not for recoverable conditions (use Status for those).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define AGMDP_CHECK(cond)                                                 \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::fprintf(stderr, "AGMDP_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                      \
+      std::abort();                                                       \
+    }                                                                     \
+  } while (0)
+
+#define AGMDP_CHECK_MSG(cond, msg)                                           \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "AGMDP_CHECK failed at %s:%d: %s (%s)\n",         \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (0)
+
+/// Aborts if `expr` (a Status) is not OK.
+#define AGMDP_CHECK_OK(expr)                                               \
+  do {                                                                     \
+    const ::agmdp::util::Status _agmdp_st = (expr);                        \
+    if (!_agmdp_st.ok()) {                                                 \
+      std::fprintf(stderr, "AGMDP_CHECK_OK failed at %s:%d: %s\n",         \
+                   __FILE__, __LINE__, _agmdp_st.ToString().c_str());      \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,68 @@
+#include "src/util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace agmdp::util {
+
+Flags Flags::Parse(int argc, char** argv) {
+  Flags flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      flags.positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags.values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      flags.values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  return flags;
+}
+
+bool Flags::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string Flags::GetString(const std::string& name,
+                             const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                       nullptr, 10);
+}
+
+double Flags::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<double> Flags::GetDoubleList(
+    const std::string& name, const std::vector<double>& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(std::strtod(token.c_str(), nullptr));
+  }
+  return out.empty() ? fallback : out;
+}
+
+}  // namespace agmdp::util

@@ -1,0 +1,39 @@
+// Minimal command-line flag parsing for example and bench binaries.
+//
+// Supports "--name=value" plus bare boolean "--name" (the space-separated
+// form is deliberately unsupported: without a flag registry it is ambiguous
+// against positional arguments). Non-flag arguments are collected as
+// positionals.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace agmdp::util {
+
+/// \brief Parsed command-line flags with typed, defaulted getters.
+class Flags {
+ public:
+  /// Parses argv (skipping argv[0]).
+  static Flags Parse(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Parses a comma-separated list of doubles, e.g. "--eps=0.1,0.2,0.5".
+  std::vector<double> GetDoubleList(const std::string& name,
+                                    const std::vector<double>& fallback) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace agmdp::util

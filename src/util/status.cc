@@ -1,0 +1,50 @@
+#include "src/util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace agmdp::util {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kInternal:
+      return "Internal";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kUnimplemented:
+      return "Unimplemented";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+namespace internal {
+
+void DieOnBadResultAccess(const Status& status) {
+  std::fprintf(stderr, "Result::value() called on error: %s\n",
+               status.ToString().c_str());
+  std::abort();
+}
+
+}  // namespace internal
+
+}  // namespace agmdp::util

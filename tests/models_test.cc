@@ -1,0 +1,476 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "src/graph/clustering.h"
+#include "src/graph/components.h"
+#include "src/graph/degree.h"
+#include "src/graph/triangle_count.h"
+#include "src/models/chung_lu.h"
+#include "src/models/edge_age_queue.h"
+#include "src/models/erdos_renyi.h"
+#include "src/models/holme_kim.h"
+#include "src/models/post_process.h"
+#include "src/models/tcl.h"
+#include "src/models/tricycle.h"
+#include "src/util/rng.h"
+
+namespace agmdp::models {
+namespace {
+
+// ------------------------------------------------------------ ErdosRenyi --
+
+TEST(ErdosRenyiTest, GnpEdgeCountNearExpectation) {
+  util::Rng rng(1);
+  const graph::NodeId n = 200;
+  const double p = 0.1;
+  double total = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    total += static_cast<double>(ErdosRenyiGnp(n, p, rng).num_edges());
+  }
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / 10.0, expected, expected * 0.05);
+}
+
+TEST(ErdosRenyiTest, GnpExtremes) {
+  util::Rng rng(2);
+  EXPECT_EQ(ErdosRenyiGnp(50, 0.0, rng).num_edges(), 0u);
+  EXPECT_EQ(ErdosRenyiGnp(10, 1.0, rng).num_edges(), 45u);
+}
+
+TEST(ErdosRenyiTest, GnmExactEdgeCount) {
+  util::Rng rng(3);
+  graph::Graph g = ErdosRenyiGnm(50, 100, rng);
+  EXPECT_EQ(g.num_edges(), 100u);
+  // capped at C(n,2)
+  EXPECT_EQ(ErdosRenyiGnm(5, 1000, rng).num_edges(), 10u);
+}
+
+// ----------------------------------------------------------- EdgeAgeQueue --
+
+TEST(EdgeAgeQueueTest, FifoOrder) {
+  EdgeAgeQueue q;
+  q.Push(graph::Edge(0, 1));
+  q.Push(graph::Edge(1, 2));
+  graph::Edge e;
+  ASSERT_TRUE(q.PopOldest(&e));
+  EXPECT_TRUE(e == graph::Edge(0, 1));
+  ASSERT_TRUE(q.PopOldest(&e));
+  EXPECT_TRUE(e == graph::Edge(1, 2));
+  EXPECT_FALSE(q.PopOldest(&e));
+}
+
+TEST(EdgeAgeQueueTest, RePushMakesYoungest) {
+  // The paper's undo step: a re-inserted edge must become the youngest.
+  EdgeAgeQueue q;
+  q.Push(graph::Edge(0, 1));
+  q.Push(graph::Edge(1, 2));
+  graph::Edge e;
+  ASSERT_TRUE(q.PopOldest(&e));          // 0-1 out
+  q.Push(e);                             // undo: 0-1 back as youngest
+  ASSERT_TRUE(q.PopOldest(&e));
+  EXPECT_TRUE(e == graph::Edge(1, 2));   // 1-2 now oldest
+  ASSERT_TRUE(q.PopOldest(&e));
+  EXPECT_TRUE(e == graph::Edge(0, 1));
+}
+
+TEST(EdgeAgeQueueTest, InvalidateSkipsEntry) {
+  EdgeAgeQueue q;
+  q.Push(graph::Edge(0, 1));
+  q.Push(graph::Edge(1, 2));
+  q.Invalidate(graph::Edge(0, 1));
+  graph::Edge e;
+  ASSERT_TRUE(q.PopOldest(&e));
+  EXPECT_TRUE(e == graph::Edge(1, 2));
+  EXPECT_EQ(q.live_size(), 0u);
+}
+
+TEST(EdgeAgeQueueTest, StaleDuplicateEntriesResolved) {
+  EdgeAgeQueue q;
+  q.Push(graph::Edge(0, 1));
+  q.Push(graph::Edge(0, 1));  // re-push same edge: older entry is stale
+  graph::Edge e;
+  ASSERT_TRUE(q.PopOldest(&e));
+  EXPECT_TRUE(e == graph::Edge(0, 1));
+  EXPECT_FALSE(q.PopOldest(&e));  // only one live entry existed
+}
+
+// --------------------------------------------------------------- ChungLu --
+
+TEST(ChungLuTest, PiSamplerProportionalToDegree) {
+  auto pi = BuildPiSampler({1, 2, 3, 0}, false);
+  ASSERT_TRUE(pi.ok());
+  util::Rng rng(4);
+  std::vector<int> counts(4, 0);
+  const int trials = 60000;
+  for (int i = 0; i < trials; ++i) ++counts[pi.value().Sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(trials), 1.0 / 6, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(trials), 3.0 / 6, 0.01);
+  EXPECT_EQ(counts[3], 0);
+}
+
+TEST(ChungLuTest, PiSamplerExcludesDegreeOne) {
+  auto pi = BuildPiSampler({1, 2, 1, 3}, true);
+  ASSERT_TRUE(pi.ok());
+  util::Rng rng(5);
+  for (int i = 0; i < 5000; ++i) {
+    size_t s = pi.value().Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(ChungLuTest, PiSamplerFailsOnAllZero) {
+  EXPECT_FALSE(BuildPiSampler({1, 1, 1}, true).ok());
+  EXPECT_FALSE(BuildPiSampler({0, 0}, false).ok());
+}
+
+TEST(ChungLuTest, MatchesEdgeCount) {
+  util::Rng rng(6);
+  std::vector<uint32_t> degrees(100, 4);
+  auto g = FastChungLu(degrees, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 200u);  // sum/2
+}
+
+TEST(ChungLuTest, ExpectedDegreesTrackTargets) {
+  util::Rng rng(7);
+  // Heterogeneous targets; average realized degree over repeats should land
+  // near the target. Hubs stay a little short even with cFCL (duplicate
+  // collisions are inherent to the proposal scheme), hence the asymmetric
+  // tolerances.
+  std::vector<uint32_t> degrees(60, 2);
+  degrees[0] = 30;
+  degrees[1] = 15;
+  double d0 = 0.0, d1 = 0.0, drest = 0.0;
+  const int reps = 60;
+  for (int r = 0; r < reps; ++r) {
+    auto g = FastChungLu(degrees, rng);
+    ASSERT_TRUE(g.ok());
+    d0 += g.value().Degree(0);
+    d1 += g.value().Degree(1);
+    drest += g.value().Degree(30);
+  }
+  EXPECT_NEAR(d0 / reps, 30.0, 6.0);
+  EXPECT_NEAR(d1 / reps, 15.0, 3.0);
+  EXPECT_NEAR(drest / reps, 2.0, 0.6);
+}
+
+TEST(ChungLuTest, BiasCorrectionHelpsHighDegreeNodes) {
+  util::Rng rng(8);
+  // A very heavy hub suffers many proposal collisions; cFCL should realize
+  // more of its target degree than plain FCL.
+  std::vector<uint32_t> degrees(120, 2);
+  degrees[0] = 80;
+  ChungLuOptions plain;
+  plain.bias_correction = false;
+  ChungLuOptions corrected;
+  corrected.bias_correction = true;
+  double hub_plain = 0.0, hub_corrected = 0.0;
+  const int reps = 40;
+  for (int r = 0; r < reps; ++r) {
+    hub_plain += FastChungLu(degrees, rng, plain).value().Degree(0);
+    hub_corrected += FastChungLu(degrees, rng, corrected).value().Degree(0);
+  }
+  EXPECT_GT(hub_corrected, hub_plain);
+}
+
+TEST(ChungLuTest, FilterSuppressesEdges) {
+  util::Rng rng(9);
+  std::vector<uint32_t> degrees(50, 4);
+  ChungLuOptions options;
+  options.max_proposals_per_edge = 20;
+  options.filter = [](graph::NodeId, graph::NodeId, util::Rng&) {
+    return false;  // reject everything
+  };
+  auto g = FastChungLu(degrees, rng, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g.value().num_edges(), 0u);  // budget exhausted, no stall
+}
+
+TEST(ChungLuTest, InsertionOrderRecorded) {
+  util::Rng rng(10);
+  std::vector<uint32_t> degrees(30, 3);
+  std::vector<graph::Edge> order;
+  ChungLuOptions options;
+  options.insertion_order = &order;
+  auto g = FastChungLu(degrees, rng, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(order.size(), g.value().num_edges());
+  for (const graph::Edge& e : order) {
+    EXPECT_TRUE(g.value().HasEdge(e.u, e.v));
+  }
+}
+
+// ------------------------------------------------------------ PostProcess --
+
+TEST(PostProcessTest, ConnectsOrphans) {
+  util::Rng rng(11);
+  // Main component of 20 nodes + 5 isolated nodes.
+  graph::Graph g(25);
+  for (graph::NodeId v = 1; v < 20; ++v) g.AddEdge(0, v);
+  std::vector<uint32_t> desired(25, 2);
+  desired[0] = 19;
+  auto pi = BuildPiSampler(desired, false);
+  ASSERT_TRUE(pi.ok());
+  PostProcessGraph(&g, desired, pi.value(), rng);
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(PostProcessTest, ReportsAddedEdges) {
+  util::Rng rng(12);
+  graph::Graph g(10);
+  for (graph::NodeId v = 1; v < 8; ++v) g.AddEdge(0, v);
+  std::vector<uint32_t> desired(10, 2);
+  desired[0] = 7;
+  auto pi = BuildPiSampler(desired, false);
+  ASSERT_TRUE(pi.ok());
+  std::vector<graph::Edge> added;
+  PostProcessGraph(&g, desired, pi.value(), rng, PostProcessOptions{}, &added);
+  EXPECT_FALSE(added.empty());
+  for (const graph::Edge& e : added) {
+    // Post-processing may later delete an added edge while balancing the
+    // edge budget; the ones still present must be real edges.
+    if (g.HasEdge(e.u, e.v)) {
+      EXPECT_NE(e.u, e.v);
+    }
+  }
+  EXPECT_TRUE(graph::IsConnected(g));
+}
+
+TEST(PostProcessTest, KeepsEdgeCountNearTarget) {
+  util::Rng rng(13);
+  graph::Graph g(40);
+  for (graph::NodeId v = 1; v < 30; ++v) g.AddEdge(0, v);
+  std::vector<uint32_t> desired(40, 2);
+  desired[0] = 29;
+  const uint64_t target = (29 + 39 * 2) / 2;
+  auto pi = BuildPiSampler(desired, false);
+  ASSERT_TRUE(pi.ok());
+  PostProcessGraph(&g, desired, pi.value(), rng);
+  EXPECT_TRUE(graph::IsConnected(g));
+  EXPECT_NEAR(static_cast<double>(g.num_edges()), static_cast<double>(target),
+              static_cast<double>(target) * 0.35);
+}
+
+TEST(PostProcessTest, NoopOnConnectedGraph) {
+  util::Rng rng(14);
+  graph::Graph g = ErdosRenyiGnm(30, 100, rng);
+  // Densify until connected for a stable premise.
+  while (!graph::IsConnected(g)) g = ErdosRenyiGnm(30, 150, rng);
+  graph::Graph before = g;
+  std::vector<uint32_t> desired = graph::DegreeSequence(g);
+  auto pi = BuildPiSampler(desired, false);
+  ASSERT_TRUE(pi.ok());
+  PostProcessGraph(&g, desired, pi.value(), rng);
+  EXPECT_EQ(g.CanonicalEdges(), before.CanonicalEdges());
+}
+
+// --------------------------------------------------------------- TriCycLe --
+
+TEST(TriCycLeTest, RejectsEmptyInput) {
+  util::Rng rng(15);
+  EXPECT_FALSE(GenerateTriCycLe({}, 10, rng).ok());
+}
+
+TEST(TriCycLeTest, ReachesTriangleTarget) {
+  util::Rng rng(16);
+  std::vector<uint32_t> degrees(150, 6);
+  const uint64_t target = 120;
+  auto result = GenerateTriCycLe(degrees, target, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().reached_target);
+  // Post-processing may destroy a few triangles; allow modest slack.
+  EXPECT_GE(result.value().achieved_triangles, target * 8 / 10);
+}
+
+TEST(TriCycLeTest, TriangleCountGrowsWithTarget) {
+  util::Rng rng(17);
+  std::vector<uint32_t> degrees(200, 6);
+  auto lo = GenerateTriCycLe(degrees, 20, rng);
+  auto hi = GenerateTriCycLe(degrees, 250, rng);
+  ASSERT_TRUE(lo.ok());
+  ASSERT_TRUE(hi.ok());
+  EXPECT_GT(hi.value().achieved_triangles, lo.value().achieved_triangles);
+}
+
+TEST(TriCycLeTest, PreservesEdgeCountApproximately) {
+  util::Rng rng(18);
+  std::vector<uint32_t> degrees(200, 6);
+  auto result = GenerateTriCycLe(degrees, 150, rng);
+  ASSERT_TRUE(result.ok());
+  const uint64_t m_target = 200 * 6 / 2;
+  EXPECT_NEAR(static_cast<double>(result.value().graph.num_edges()),
+              static_cast<double>(m_target), m_target * 0.1);
+}
+
+TEST(TriCycLeTest, OutputConnectedWithPostProcessing) {
+  util::Rng rng(19);
+  // Plenty of degree-one nodes, the orphan-prone case.
+  std::vector<uint32_t> degrees(150, 1);
+  for (size_t i = 0; i < 50; ++i) degrees[i] = 5;
+  auto result = GenerateTriCycLe(degrees, 50, rng);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(graph::IsConnected(result.value().graph));
+}
+
+TEST(TriCycLeTest, StallGuardTerminates) {
+  util::Rng rng(20);
+  std::vector<uint32_t> degrees(30, 2);  // a 2-regular target: few triangles
+  TriCycLeOptions options;
+  options.max_proposals = 500;
+  // Unreachable target; must stop at the proposal budget.
+  auto result = GenerateTriCycLe(degrees, 1'000'000, rng, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result.value().reached_target);
+  EXPECT_LE(result.value().proposals, 500u);
+}
+
+TEST(TriCycLeTest, FilterIsRespected) {
+  util::Rng rng(21);
+  std::vector<uint32_t> degrees(100, 4);
+  // Forbid any edge touching node 0.
+  TriCycLeOptions options;
+  options.post_process = false;  // post-processing ignores the filter
+  options.filter = [](graph::NodeId u, graph::NodeId v, util::Rng&) {
+    return u != 0 && v != 0;
+  };
+  auto result = GenerateTriCycLe(degrees, 60, rng, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().graph.Degree(0), 0u);
+}
+
+// -------------------------------------------------------------------- TCL --
+
+TEST(TclTest, ValidatesRho) {
+  util::Rng rng(22);
+  std::vector<uint32_t> degrees(10, 2);
+  EXPECT_FALSE(GenerateTcl(degrees, -0.1, rng).ok());
+  EXPECT_FALSE(GenerateTcl(degrees, 1.1, rng).ok());
+}
+
+TEST(TclTest, KeepsEdgeCount) {
+  util::Rng rng(23);
+  std::vector<uint32_t> degrees(150, 6);
+  auto g = GenerateTcl(degrees, 0.4, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(static_cast<double>(g.value().num_edges()), 450.0, 45.0);
+}
+
+TEST(TclTest, HigherRhoMoreTriangles) {
+  util::Rng rng(24);
+  std::vector<uint32_t> degrees(300, 8);
+  double tri_lo = 0.0, tri_hi = 0.0;
+  for (int rep = 0; rep < 5; ++rep) {
+    tri_lo += static_cast<double>(
+        graph::CountTriangles(GenerateTcl(degrees, 0.05, rng).value()));
+    tri_hi += static_cast<double>(
+        graph::CountTriangles(GenerateTcl(degrees, 0.9, rng).value()));
+  }
+  EXPECT_GT(tri_hi, tri_lo * 1.5);
+}
+
+TEST(TclTest, FitRhoRecoversOrdering) {
+  // Graphs generated with high rho must fit a larger rho than low-rho
+  // graphs (exact recovery is not expected from EM on samples).
+  util::Rng rng(25);
+  std::vector<uint32_t> degrees(400, 8);
+  auto g_low = GenerateTcl(degrees, 0.1, rng);
+  auto g_high = GenerateTcl(degrees, 0.9, rng);
+  ASSERT_TRUE(g_low.ok());
+  ASSERT_TRUE(g_high.ok());
+  const double rho_low = FitTclRho(g_low.value(), rng);
+  const double rho_high = FitTclRho(g_high.value(), rng);
+  EXPECT_GT(rho_high, rho_low);
+}
+
+TEST(TclTest, FitRhoInUnitInterval) {
+  util::Rng rng(26);
+  graph::Graph g = ErdosRenyiGnp(100, 0.08, rng);
+  const double rho = FitTclRho(g, rng);
+  EXPECT_GE(rho, 0.0);
+  EXPECT_LE(rho, 1.0);
+}
+
+// --------------------------------------------------------------- HolmeKim --
+
+TEST(HolmeKimTest, ValidatesOptions) {
+  util::Rng rng(27);
+  HolmeKimOptions options;
+  options.edges_per_node = 0.5;
+  EXPECT_FALSE(HolmeKim(100, options, rng).ok());
+  options.edges_per_node = 3;
+  options.triad_probability = 1.5;
+  EXPECT_FALSE(HolmeKim(100, options, rng).ok());
+  EXPECT_FALSE(HolmeKim(3, HolmeKimOptions{}, rng).ok());
+}
+
+TEST(HolmeKimTest, ConnectedByConstruction) {
+  util::Rng rng(28);
+  HolmeKimOptions options;
+  options.edges_per_node = 2.5;
+  options.triad_probability = 0.6;
+  auto g = HolmeKim(500, options, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_TRUE(graph::IsConnected(g.value()));
+}
+
+TEST(HolmeKimTest, AverageDegreeTracksTwiceEdgesPerNode) {
+  util::Rng rng(29);
+  HolmeKimOptions options;
+  options.edges_per_node = 3.45;
+  auto g = HolmeKim(2000, options, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_NEAR(graph::AverageDegree(g.value()), 2.0 * 3.45, 0.5);
+}
+
+TEST(HolmeKimTest, HeavyTailedDegrees) {
+  util::Rng rng(30);
+  HolmeKimOptions options;
+  options.edges_per_node = 3;
+  auto g = HolmeKim(3000, options, rng);
+  ASSERT_TRUE(g.ok());
+  // Preferential attachment: the max degree should far exceed the mean.
+  EXPECT_GT(g.value().MaxDegree(), 8 * graph::AverageDegree(g.value()));
+}
+
+TEST(HolmeKimTest, TriadProbabilityRaisesClustering) {
+  util::Rng rng(31);
+  HolmeKimOptions flat;
+  flat.edges_per_node = 3;
+  flat.triad_probability = 0.0;
+  HolmeKimOptions clustered = flat;
+  clustered.triad_probability = 0.9;
+  const double c_flat =
+      graph::AverageLocalClustering(HolmeKim(1500, flat, rng).value());
+  const double c_clustered =
+      graph::AverageLocalClustering(HolmeKim(1500, clustered, rng).value());
+  EXPECT_GT(c_clustered, c_flat * 2.0);
+}
+
+TEST(HolmeKimTest, CalibrationApproachesTarget) {
+  util::Rng rng(32);
+  const double target = 0.15;
+  HolmeKimOptions options;
+  options.edges_per_node = 3.0;
+  options.triad_probability =
+      CalibrateTriadProbability(options, target, 1500, rng);
+  const double achieved =
+      graph::AverageLocalClustering(HolmeKim(1500, options, rng).value());
+  EXPECT_NEAR(achieved, target, 0.06);
+}
+
+TEST(HolmeKimTest, MaxDegreeCapHolds) {
+  util::Rng rng(33);
+  HolmeKimOptions options;
+  options.edges_per_node = 4;
+  options.max_degree = 25;
+  auto g = HolmeKim(2000, options, rng);
+  ASSERT_TRUE(g.ok());
+  EXPECT_LE(g.value().MaxDegree(), 25u);
+  EXPECT_TRUE(graph::IsConnected(g.value()));
+}
+
+}  // namespace
+}  // namespace agmdp::models

@@ -1,0 +1,268 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "src/util/alias_sampler.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::util {
+namespace {
+
+// ---------------------------------------------------------------- Status --
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("k must be positive");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "k must be positive");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: k must be positive");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 7; ++code) {
+    EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternalError) {
+  Result<int> r(Status::OK());
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("payload"));
+  std::string s = std::move(r).value();
+  EXPECT_EQ(s, "payload");
+}
+
+// ------------------------------------------------------------------- Rng --
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.Next() == b.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIndexCoversRangeUniformly) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ++counts[rng.UniformIndex(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, trials / 10, 500);  // ~5 sigma
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(13);
+  for (int i = 0; i < 10000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(17);
+  int hits = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) hits += rng.Bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / trials, 0.3, 0.01);
+  EXPECT_FALSE(rng.Bernoulli(0.0));
+  EXPECT_TRUE(rng.Bernoulli(1.0));
+}
+
+TEST(RngTest, LaplaceMeanAndScale) {
+  Rng rng(19);
+  const double scale = 2.5;
+  const int trials = 200000;
+  double sum = 0.0, abs_sum = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    double x = rng.Laplace(scale);
+    sum += x;
+    abs_sum += std::fabs(x);
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.05);          // mean 0
+  EXPECT_NEAR(abs_sum / trials, scale, 0.05);    // E|X| = b
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(23);
+  const double rate = 4.0;
+  const int trials = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += rng.Exponential(rate);
+  EXPECT_NEAR(sum / trials, 1.0 / rate, 0.01);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(29);
+  const int trials = 200000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < trials; ++i) {
+    double x = rng.Gaussian();
+    sum += x;
+    sq += x * x;
+  }
+  EXPECT_NEAR(sum / trials, 0.0, 0.02);
+  EXPECT_NEAR(sq / trials, 1.0, 0.03);
+}
+
+TEST(RngTest, GeometricMean) {
+  Rng rng(31);
+  const double p = 0.25;
+  const int trials = 200000;
+  double sum = 0.0;
+  for (int i = 0; i < trials; ++i) sum += static_cast<double>(rng.Geometric(p));
+  // E[X] = (1 - p) / p = 3.
+  EXPECT_NEAR(sum / trials, 3.0, 0.1);
+  EXPECT_EQ(rng.Geometric(1.0), 0u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.Fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += parent.Next() == child.Next();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, orig);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+// ---------------------------------------------------------- AliasSampler --
+
+TEST(AliasSamplerTest, RejectsBadWeights) {
+  EXPECT_FALSE(AliasSampler::Build({}).ok());
+  EXPECT_FALSE(AliasSampler::Build({0.0, 0.0}).ok());
+  EXPECT_FALSE(AliasSampler::Build({1.0, -0.5}).ok());
+}
+
+TEST(AliasSamplerTest, MatchesTargetDistribution) {
+  std::vector<double> weights = {1.0, 2.0, 3.0, 4.0};
+  auto sampler = AliasSampler::Build(weights);
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(43);
+  std::vector<int> counts(4, 0);
+  const int trials = 200000;
+  for (int i = 0; i < trials; ++i) ++counts[sampler.value().Sample(rng)];
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double expected = weights[i] / 10.0;
+    EXPECT_NEAR(static_cast<double>(counts[i]) / trials, expected, 0.01)
+        << "category " << i;
+  }
+}
+
+TEST(AliasSamplerTest, ZeroWeightCategoriesNeverSampled) {
+  auto sampler = AliasSampler::Build({0.0, 1.0, 0.0, 1.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(47);
+  for (int i = 0; i < 10000; ++i) {
+    size_t s = sampler.value().Sample(rng);
+    EXPECT_TRUE(s == 1 || s == 3);
+  }
+}
+
+TEST(AliasSamplerTest, SingleCategory) {
+  auto sampler = AliasSampler::Build({5.0});
+  ASSERT_TRUE(sampler.ok());
+  Rng rng(53);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(sampler.value().Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, MassOfReportsNormalizedInput) {
+  auto sampler = AliasSampler::Build({1.0, 3.0});
+  ASSERT_TRUE(sampler.ok());
+  EXPECT_DOUBLE_EQ(sampler.value().MassOf(0), 0.25);
+  EXPECT_DOUBLE_EQ(sampler.value().MassOf(1), 0.75);
+}
+
+// ------------------------------------------------------------------ Flags --
+
+TEST(FlagsTest, ParsesEqualsAndBooleanForms) {
+  const char* argv[] = {"prog", "--trials=5", "--eps=0.3", "--full", "pos"};
+  Flags flags = Flags::Parse(5, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("trials", 0), 5);
+  EXPECT_DOUBLE_EQ(flags.GetDouble("eps", 0.0), 0.3);
+  EXPECT_TRUE(flags.GetBool("full", false));
+  ASSERT_EQ(flags.positional().size(), 1u);
+  EXPECT_EQ(flags.positional()[0], "pos");
+}
+
+TEST(FlagsTest, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Flags flags = Flags::Parse(1, const_cast<char**>(argv));
+  EXPECT_EQ(flags.GetInt("trials", 42), 42);
+  EXPECT_EQ(flags.GetString("name", "x"), "x");
+  EXPECT_FALSE(flags.Has("anything"));
+}
+
+TEST(FlagsTest, DoubleListParsing) {
+  const char* argv[] = {"prog", "--eps=0.1,0.2,0.5"};
+  Flags flags = Flags::Parse(2, const_cast<char**>(argv));
+  std::vector<double> eps = flags.GetDoubleList("eps", {1.0});
+  ASSERT_EQ(eps.size(), 3u);
+  EXPECT_DOUBLE_EQ(eps[0], 0.1);
+  EXPECT_DOUBLE_EQ(eps[2], 0.5);
+  EXPECT_EQ(flags.GetDoubleList("other", {1.0, 2.0}).size(), 2u);
+}
+
+}  // namespace
+}  // namespace agmdp::util

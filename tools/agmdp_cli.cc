@@ -1,0 +1,217 @@
+// agmdp — command-line front end for the library.
+//
+// Subcommands:
+//   generate   --dataset=lastfm --scale=1.0 --seed=7 --out=PREFIX
+//              Generate a synthetic stand-in dataset (writes PREFIX.edges /
+//              PREFIX.attrs).
+//   fit        --in=PREFIX --epsilon=0.69 [--model=tricycle|fcl]
+//              --params-out=FILE
+//              Learn the differentially private AGM parameters and store
+//              them. This is the only step that touches the sensitive data.
+//   sample     --params=FILE --out=PREFIX [--seed=1] [--model=tricycle|fcl]
+//              Sample a synthetic graph from stored parameters (pure
+//              post-processing; repeatable at no extra privacy cost).
+//   synthesize --in=PREFIX --epsilon=0.69 --out=PREFIX2
+//              fit + sample in one step.
+//   stats      --in=PREFIX
+//              Structural summary, assortativity and path statistics.
+//   evaluate   --in=PREFIX --synthetic=PREFIX2
+//              The paper's utility error columns between two graphs.
+//   export     --in=PREFIX --out=FILE.graphml
+//              GraphML export for external tools.
+#include <cmath>
+#include <cstdio>
+#include <string>
+
+#include "src/agm/agm_dp.h"
+#include "src/agm/params_io.h"
+#include "src/datasets/datasets.h"
+#include "src/graph/graph_io.h"
+#include "src/graph/paths.h"
+#include "src/stats/assortativity.h"
+#include "src/stats/joint_degree.h"
+#include "src/stats/summary.h"
+#include "src/util/flags.h"
+#include "src/util/rng.h"
+
+namespace {
+
+using namespace agmdp;
+
+int Fail(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: agmdp <generate|fit|sample|synthesize|stats|evaluate|"
+               "export> [--flags]\n"
+               "see the header of tools/agmdp_cli.cc for details\n");
+  return 2;
+}
+
+agm::StructuralModelKind ModelFromFlags(const util::Flags& flags) {
+  return flags.GetString("model", "tricycle") == "fcl"
+             ? agm::StructuralModelKind::kFcl
+             : agm::StructuralModelKind::kTriCycLe;
+}
+
+util::Result<graph::AttributedGraph> LoadInput(const util::Flags& flags,
+                                               const std::string& flag_name) {
+  const std::string prefix = flags.GetString(flag_name, "");
+  if (prefix.empty()) {
+    return util::Status::InvalidArgument("missing --" + flag_name + "=PREFIX");
+  }
+  return graph::ReadAttributedGraph(prefix);
+}
+
+int CmdGenerate(const util::Flags& flags) {
+  const auto id =
+      datasets::DatasetByName(flags.GetString("dataset", "lastfm"));
+  auto g = datasets::GenerateDataset(id, flags.GetDouble("scale", 1.0),
+                                     flags.GetInt("seed", 7));
+  if (!g.ok()) return Fail(g.status());
+  const std::string out = flags.GetString("out", "dataset");
+  if (auto st = graph::WriteAttributedGraph(g.value(), out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("%s\n",
+              stats::FormatSummary(out, stats::Summarize(
+                                            g.value().structure()))
+                  .c_str());
+  return 0;
+}
+
+int CmdFit(const util::Flags& flags) {
+  auto input = LoadInput(flags, "in");
+  if (!input.ok()) return Fail(input.status());
+  agm::AgmDpOptions options;
+  options.epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  options.model = ModelFromFlags(flags);
+  util::Rng rng(flags.GetInt("seed", 1));
+
+  // Learn parameters and discard the sampled graph: store only the params.
+  auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
+  if (!result.ok()) return Fail(result.status());
+  const std::string out = flags.GetString("params-out", "agm.params");
+  if (auto st = agm::WriteAgmParams(result.value().params, out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("learned eps=%.4f params -> %s\n", options.epsilon,
+              out.c_str());
+  for (const auto& [label, eps] : result.value().budget_ledger) {
+    std::printf("  %-16s eps = %.4f\n", label.c_str(), eps);
+  }
+  return 0;
+}
+
+int CmdSample(const util::Flags& flags) {
+  auto params = agm::ReadAgmParams(flags.GetString("params", "agm.params"));
+  if (!params.ok()) return Fail(params.status());
+  agm::AgmSampleOptions options;
+  options.model = ModelFromFlags(flags);
+  util::Rng rng(flags.GetInt("seed", 1));
+  auto g = agm::SampleAgmGraph(params.value(), options, rng);
+  if (!g.ok()) return Fail(g.status());
+  const std::string out = flags.GetString("out", "synthetic");
+  if (auto st = graph::WriteAttributedGraph(g.value(), out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("%s\n",
+              stats::FormatSummary(out, stats::Summarize(
+                                            g.value().structure()))
+                  .c_str());
+  return 0;
+}
+
+int CmdSynthesize(const util::Flags& flags) {
+  auto input = LoadInput(flags, "in");
+  if (!input.ok()) return Fail(input.status());
+  agm::AgmDpOptions options;
+  options.epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  options.model = ModelFromFlags(flags);
+  util::Rng rng(flags.GetInt("seed", 1));
+  auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
+  if (!result.ok()) return Fail(result.status());
+  const std::string out = flags.GetString("out", "synthetic");
+  if (auto st = graph::WriteAttributedGraph(result.value().graph, out);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("%s\n",
+              stats::FormatSummary(
+                  out, stats::Summarize(result.value().graph.structure()))
+                  .c_str());
+  return 0;
+}
+
+int CmdStats(const util::Flags& flags) {
+  auto input = LoadInput(flags, "in");
+  if (!input.ok()) return Fail(input.status());
+  const graph::AttributedGraph& g = input.value();
+  std::printf("%s\n", stats::FormatSummary(
+                          flags.GetString("in", ""),
+                          stats::Summarize(g.structure()))
+                          .c_str());
+  std::printf("degree assortativity:    %+.4f\n",
+              stats::DegreeAssortativity(g.structure()));
+  std::printf("attribute assortativity: %+.4f\n",
+              stats::AttributeAssortativity(g));
+  util::Rng rng(flags.GetInt("seed", 1));
+  graph::PathStats paths = graph::EstimatePathStats(
+      g.structure(), static_cast<uint32_t>(flags.GetInt("bfs_samples", 64)),
+      rng);
+  std::printf("avg path length (est):   %.3f\n", paths.avg_path_length);
+  std::printf("effective diameter:      %.2f\n", paths.effective_diameter);
+  std::printf("diameter lower bound:    %u\n", paths.diameter_lower_bound);
+  return 0;
+}
+
+int CmdEvaluate(const util::Flags& flags) {
+  auto input = LoadInput(flags, "in");
+  if (!input.ok()) return Fail(input.status());
+  auto synthetic = LoadInput(flags, "synthetic");
+  if (!synthetic.ok()) return Fail(synthetic.status());
+  stats::UtilityErrors e =
+      stats::CompareGraphs(input.value(), synthetic.value());
+  std::printf("dK-2 Hellinger    %.4f\n",
+              stats::JointDegreeDistance(input.value().structure(),
+                                         synthetic.value().structure()));
+  std::printf("ThetaF MAE        %.4f\n", e.theta_f_mae);
+  std::printf("ThetaF Hellinger  %.4f\n", e.theta_f_hellinger);
+  std::printf("degree KS         %.4f\n", e.degree_ks);
+  std::printf("degree Hellinger  %.4f\n", e.degree_hellinger);
+  std::printf("triangles rel.err %.4f\n", e.triangles_re);
+  std::printf("avg-CC rel.err    %.4f\n", e.avg_clustering_re);
+  std::printf("global-CC rel.err %.4f\n", e.global_clustering_re);
+  std::printf("edges rel.err     %.4f\n", e.edges_re);
+  return 0;
+}
+
+int CmdExport(const util::Flags& flags) {
+  auto input = LoadInput(flags, "in");
+  if (!input.ok()) return Fail(input.status());
+  const std::string out = flags.GetString("out", "graph.graphml");
+  if (auto st = graph::WriteGraphMl(input.value(), out); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("wrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  util::Flags flags = util::Flags::Parse(argc - 1, argv + 1);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "fit") return CmdFit(flags);
+  if (command == "sample") return CmdSample(flags);
+  if (command == "synthesize") return CmdSynthesize(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "export") return CmdExport(flags);
+  return Usage();
+}
