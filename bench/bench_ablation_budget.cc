@@ -6,7 +6,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
-#include "src/agm/agm_dp.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/stats/summary.h"
 #include "src/util/rng.h"
 
@@ -43,8 +43,9 @@ int main(int argc, char** argv) {
     graph::AttributedGraph input = bench::LoadDataset(id, flags);
     util::Rng rng(flags.GetInt("seed", 10) + static_cast<int>(id));
     for (const SplitSpec& split : splits) {
-      agm::AgmDpOptions options;
+      pipeline::PipelineConfig options;
       options.epsilon = eps;
+      options.model = "tricycle";
       options.split.theta_x = split.x * eps;
       options.split.theta_f = split.f * eps;
       options.split.degree_seq = split.s * eps;
@@ -52,7 +53,7 @@ int main(int argc, char** argv) {
       options.sample.acceptance_iterations = 2;
       stats::UtilityErrors sum;
       for (int t = 0; t < trials; ++t) {
-        auto result = agm::SynthesizeAgmDp(input, options, rng);
+        auto result = pipeline::RunPrivateRelease(input, options, rng);
         AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
         sum += stats::CompareGraphs(input, result.value().graph);
       }

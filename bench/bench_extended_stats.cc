@@ -7,8 +7,8 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/agm/agm_dp.h"
 #include "src/graph/paths.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/stats/assortativity.h"
 #include "src/util/rng.h"
 
@@ -61,14 +61,13 @@ int main(int argc, char** argv) {
     PrintRow(name, "input", Measure(input, rng));
 
     for (bool tricycle : {true, false}) {
-      agm::AgmDpOptions options;
+      pipeline::PipelineConfig options;
       options.epsilon = eps;
-      options.model = tricycle ? agm::StructuralModelKind::kTriCycLe
-                               : agm::StructuralModelKind::kFcl;
+      options.model = tricycle ? "tricycle" : "fcl";
       options.sample.acceptance_iterations = 2;
       ExtendedStats mean;
       for (int t = 0; t < trials; ++t) {
-        auto result = agm::SynthesizeAgmDp(input, options, rng);
+        auto result = pipeline::RunPrivateRelease(input, options, rng);
         AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
         ExtendedStats s = Measure(result.value().graph, rng);
         mean.avg_path += s.avg_path / trials;

@@ -1,117 +1,220 @@
-// Appendix C.4 timing analysis as a google-benchmark suite: the cost of the
-// individual AGM-DP components (truncation, Q_F counting, constrained
-// inference, triangle counting, the Ladder mechanism, structural sampling
-// and the end-to-end pipeline) on a mid-size stand-in.
-#include <benchmark/benchmark.h>
-
+// Appendix C.4 timing analysis, emitting machine-readable BENCH_perf.json:
+// per-component costs (truncation, Q_F counting, triangle counting, the
+// Ladder mechanism, degree-sequence noising, structural sampling), the
+// stage timings of a full pipeline::RunPrivateRelease, and a sampler
+// thread sweep (1/2/4 workers over the same seed) with its wall-clock
+// speedup — the determinism contract is asserted on the way.
+//
+//   ./bench_perf [--scale=0.2] [--trials=3] [--out=BENCH_perf.json]
+#include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <string>
 #include <vector>
 
+#include "bench/bench_util.h"
 #include "src/agm/agm_dp.h"
 #include "src/agm/theta_f.h"
 #include "src/datasets/datasets.h"
-#include "src/dp/constrained_inference.h"
 #include "src/dp/edge_truncation.h"
 #include "src/dp/ladder_mechanism.h"
+#include "src/dp/constrained_inference.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
 #include "src/models/chung_lu.h"
 #include "src/models/tricycle.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/util/rng.h"
 
 namespace {
 
 using namespace agmdp;
+using Clock = std::chrono::steady_clock;
 
-const graph::AttributedGraph& Input() {
-  static const graph::AttributedGraph* g = [] {
-    auto made =
-        datasets::GenerateDataset(datasets::DatasetId::kEpinions, 0.2, 1);
-    AGMDP_CHECK(made.ok());
-    return new graph::AttributedGraph(std::move(made).value());
-  }();
-  return *g;
-}
-
-void BM_EdgeTruncation(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  const auto k = static_cast<uint32_t>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dp::TruncateEdges(g.structure(), k));
+// Best-of-`trials` wall-clock seconds of fn().
+template <typename Fn>
+double TimeBest(int trials, Fn&& fn) {
+  double best = 1e300;
+  for (int t = 0; t < trials; ++t) {
+    const Clock::time_point start = Clock::now();
+    fn();
+    best = std::min(best,
+                    std::chrono::duration<double>(Clock::now() - start).count());
   }
+  return best;
 }
-BENCHMARK(BM_EdgeTruncation)->Arg(4)->Arg(17)->Arg(64);
 
-void BM_ConnectionCounts(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(agm::ComputeConnectionCounts(g));
-  }
+bool SameGraph(const graph::AttributedGraph& a,
+               const graph::AttributedGraph& b) {
+  return a.num_nodes() == b.num_nodes() &&
+         a.attributes() == b.attributes() &&
+         a.structure().CanonicalEdges() == b.structure().CanonicalEdges();
 }
-BENCHMARK(BM_ConnectionCounts);
 
-void BM_TriangleCount(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(graph::CountTriangles(g.structure()));
-  }
-}
-BENCHMARK(BM_TriangleCount);
+struct JsonWriter {
+  std::string out = "{\n";
+  bool first = true;
 
-void BM_LadderMechanism(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  util::Rng rng(1);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        dp::DpTriangleCount(g.structure(), 0.25, rng).value());
+  void Raw(const std::string& key, const std::string& value) {
+    if (!first) out += ",\n";
+    first = false;
+    out += "  \"" + key + "\": " + value;
   }
-}
-BENCHMARK(BM_LadderMechanism);
+  void Num(const std::string& key, double value);
+  void Str(const std::string& key, const std::string& value) {
+    Raw(key, "\"" + value + "\"");
+  }
+  void Bool(const std::string& key, bool value) {
+    Raw(key, value ? "true" : "false");
+  }
+  std::string Finish() { return out + "\n}\n"; }
+};
 
-void BM_DpDegreeSequence(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  std::vector<uint32_t> degrees = graph::DegreeSequence(g.structure());
-  util::Rng rng(2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(dp::DpDegreeSequence(degrees, 0.25, rng));
-  }
+std::string JsonNum(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  return buffer;
 }
-BENCHMARK(BM_DpDegreeSequence);
 
-void BM_FclGeneration(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  std::vector<uint32_t> degrees = graph::DegreeSequence(g.structure());
-  util::Rng rng(3);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(models::FastChungLu(degrees, rng).value());
-  }
+void JsonWriter::Num(const std::string& key, double value) {
+  Raw(key, JsonNum(value));
 }
-BENCHMARK(BM_FclGeneration);
-
-void BM_TriCycLeGeneration(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  std::vector<uint32_t> degrees = graph::DegreeSequence(g.structure());
-  const uint64_t triangles = graph::CountTriangles(g.structure());
-  util::Rng rng(4);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        models::GenerateTriCycLe(degrees, triangles, rng).value());
-  }
-}
-BENCHMARK(BM_TriCycLeGeneration);
-
-void BM_AgmDpEndToEnd(benchmark::State& state) {
-  const graph::AttributedGraph& g = Input();
-  util::Rng rng(5);
-  agm::AgmDpOptions options;
-  options.epsilon = std::log(2.0);
-  options.sample.acceptance_iterations = 2;
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(agm::SynthesizeAgmDp(g, options, rng).value());
-  }
-}
-BENCHMARK(BM_AgmDpEndToEnd)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  util::Flags flags = util::Flags::Parse(argc, argv);
+  const int trials = static_cast<int>(flags.GetInt("trials", 3));
+  const std::string out_path = flags.GetString("out", "BENCH_perf.json");
+
+  const auto id = datasets::DatasetId::kEpinions;
+  graph::AttributedGraph input = bench::LoadDataset(id, flags);
+  const std::vector<uint32_t> degrees = graph::DegreeSequence(input.structure());
+  const uint64_t triangles = graph::CountTriangles(input.structure());
+
+  JsonWriter json;
+  json.Str("dataset", datasets::PaperSpec(id).name);
+  json.Num("scale", bench::ScaleFor(id, flags));
+  json.Num("n", input.num_nodes());
+  json.Num("m", static_cast<double>(input.num_edges()));
+
+  // ------------------------------------------------------------ components
+  std::string components;
+  auto component = [&](const std::string& name, double seconds) {
+    if (!components.empty()) components += ", ";
+    components += "\"" + name + "\": " + JsonNum(seconds);
+    std::printf("%-28s %10.3f ms\n", name.c_str(), 1e3 * seconds);
+  };
+  component("edge_truncation_k17", TimeBest(trials, [&] {
+    dp::TruncateEdges(input.structure(), 17);
+  }));
+  component("connection_counts", TimeBest(trials, [&] {
+    agm::ComputeConnectionCounts(input);
+  }));
+  component("theta_f_parallel_measure", TimeBest(trials, [&] {
+    agm::MeasureThetaF(input, /*threads=*/0);
+  }));
+  component("triangle_count", TimeBest(trials, [&] {
+    graph::CountTriangles(input.structure());
+  }));
+  {
+    util::Rng rng(1);
+    component("ladder_mechanism", TimeBest(trials, [&] {
+      dp::DpTriangleCount(input.structure(), 0.25, rng).value();
+    }));
+  }
+  {
+    util::Rng rng(2);
+    component("dp_degree_sequence", TimeBest(trials, [&] {
+      dp::DpDegreeSequence(degrees, 0.25, rng);
+    }));
+  }
+  {
+    util::Rng rng(3);
+    component("fcl_generation", TimeBest(trials, [&] {
+      models::FastChungLu(degrees, rng).value();
+    }));
+  }
+  {
+    util::Rng rng(4);
+    component("tricycle_generation", TimeBest(trials, [&] {
+      models::GenerateTriCycLe(degrees, triangles, rng).value();
+    }));
+  }
+  json.Raw("components_seconds", "{" + components + "}");
+
+  // ------------------------------------- pipeline end-to-end stage timings
+  {
+    pipeline::PipelineConfig config;
+    config.epsilon = std::log(2.0);
+    config.sample.acceptance_iterations = 2;
+    util::Rng rng(5);
+    auto release = pipeline::RunPrivateRelease(input, config, rng);
+    AGMDP_CHECK_MSG(release.ok(), release.status().ToString().c_str());
+    std::string stages;
+    for (const auto& stage : release.value().stage_seconds) {
+      if (!stages.empty()) stages += ", ";
+      stages += "\"" + stage.stage + "\": " + JsonNum(stage.seconds);
+      std::printf("pipeline stage %-13s %10.3f ms\n", stage.stage.c_str(),
+                  1e3 * stage.seconds);
+    }
+    json.Str("pipeline_model", config.model);
+    json.Num("pipeline_epsilon", config.epsilon);
+    json.Raw("pipeline_stages_seconds", "{" + stages + "}");
+    json.Num("pipeline_total_seconds", release.value().total_seconds);
+  }
+
+  // -------------------------------------------------- sampler thread sweep
+  // Same parameters, same seed, 1/2/4 worker threads: the outputs must be
+  // bitwise-identical (the sharded sampler's determinism contract) and the
+  // wall-clock ratio is the parallel speedup of the hot path.
+  {
+    const agm::AgmParams params = agm::LearnAgmParams(input);
+    std::string sweep;
+    bool deterministic = true;
+    double seconds_1t = 0.0, seconds_4t = 0.0;
+    graph::AttributedGraph reference;
+    for (int threads : {1, 2, 4}) {
+      pipeline::PipelineConfig config;
+      config.model = "fcl";
+      config.sample.acceptance_iterations = 2;
+      config.sample.threads = threads;
+      graph::AttributedGraph sampled;
+      const double seconds = TimeBest(trials, [&] {
+        util::Rng rng(6);
+        auto g = pipeline::SampleRelease(params, config, rng);
+        AGMDP_CHECK_MSG(g.ok(), g.status().ToString().c_str());
+        sampled = std::move(g).value();
+      });
+      if (threads == 1) {
+        seconds_1t = seconds;
+        reference = sampled;
+      } else {
+        deterministic = deterministic && SameGraph(reference, sampled);
+      }
+      if (threads == 4) seconds_4t = seconds;
+      if (!sweep.empty()) sweep += ", ";
+      sweep += "\"" + std::to_string(threads) + "\": " + JsonNum(seconds);
+      std::printf("sampler threads=%d            %10.3f ms\n", threads,
+                  1e3 * seconds);
+    }
+    json.Raw("sampler_threads_seconds", "{" + sweep + "}");
+    json.Num("sampler_speedup_4t", seconds_4t > 0.0 ? seconds_1t / seconds_4t
+                                                    : 0.0);
+    json.Bool("sampler_deterministic_1_2_4", deterministic);
+    std::printf("sampler 4-thread speedup      %10.2fx (deterministic: %s)\n",
+                seconds_4t > 0.0 ? seconds_1t / seconds_4t : 0.0,
+                deterministic ? "yes" : "NO");
+    AGMDP_CHECK_MSG(deterministic,
+                    "sampler output differs across thread counts");
+  }
+
+  FILE* f = std::fopen(out_path.c_str(), "w");
+  AGMDP_CHECK_MSG(f != nullptr, "cannot open output file");
+  const std::string body = json.Finish();
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

@@ -1,9 +1,8 @@
-// Table 2: AGM(DP)-FCL vs AGM(DP)-TriCL on the Last.fm stand-in.
+// Table 2: AGM(DP) models on the Last.fm stand-in, via the shared harness
+// and the release pipeline.
 #include "bench/table_harness.h"
-#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
-  return agmdp::bench::RunAgmDpTable(
-      agmdp::datasets::DatasetId::kLastFm,
-      agmdp::util::Flags::Parse(argc, argv));
+  return agmdp::bench::TableMain(agmdp::datasets::DatasetId::kLastFm, argc,
+                                 argv);
 }

@@ -1,9 +1,8 @@
-// Table 4: AGM(DP)-FCL vs AGM(DP)-TriCL on the Epinions stand-in.
+// Table 4: AGM(DP) models on the Epinions stand-in, via the shared harness
+// and the release pipeline.
 #include "bench/table_harness.h"
-#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
-  return agmdp::bench::RunAgmDpTable(
-      agmdp::datasets::DatasetId::kEpinions,
-      agmdp::util::Flags::Parse(argc, argv));
+  return agmdp::bench::TableMain(agmdp::datasets::DatasetId::kEpinions, argc,
+                                 argv);
 }

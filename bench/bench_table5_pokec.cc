@@ -1,10 +1,9 @@
-// Table 5: AGM(DP)-FCL vs AGM(DP)-TriCL on the Pokec stand-in (the paper
-// uses smaller epsilons here; the large graph is robust to the noise).
+// Table 5: AGM(DP) models on the Pokec stand-in, via the shared harness and
+// the release pipeline (the paper uses smaller epsilons here; the large
+// graph is robust to the noise).
 #include "bench/table_harness.h"
-#include "src/util/flags.h"
 
 int main(int argc, char** argv) {
-  return agmdp::bench::RunAgmDpTable(
-      agmdp::datasets::DatasetId::kPokec,
-      agmdp::util::Flags::Parse(argc, argv));
+  return agmdp::bench::TableMain(agmdp::datasets::DatasetId::kPokec, argc,
+                                 argv);
 }

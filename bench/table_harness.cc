@@ -9,6 +9,7 @@
 #include "src/agm/agm_dp.h"
 #include "src/agm/theta_f.h"
 #include "src/graph/degree.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/stats/metrics.h"
 #include "src/stats/summary.h"
 #include "src/util/rng.h"
@@ -23,12 +24,13 @@ void PrintHeader() {
               "m");
 }
 
-void PrintRow(const std::string& eps_label, const char* model,
+void PrintRow(const std::string& eps_label, const std::string& model,
               const stats::UtilityErrors& e) {
   std::printf("%-8s %-14s %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
-              eps_label.c_str(), model, e.theta_f_mae, e.theta_f_hellinger,
-              e.degree_ks, e.degree_hellinger, e.triangles_re,
-              e.avg_clustering_re, e.global_clustering_re, e.edges_re);
+              eps_label.c_str(), model.c_str(), e.theta_f_mae,
+              e.theta_f_hellinger, e.degree_ks, e.degree_hellinger,
+              e.triangles_re, e.avg_clustering_re, e.global_clustering_re,
+              e.edges_re);
 }
 
 std::string EpsLabel(double eps) {
@@ -39,14 +41,34 @@ std::string EpsLabel(double eps) {
   return buffer;
 }
 
+// The models compared in a table: the paper's pair (FCL, TriCycLe), plus
+// any registry model requested via --model.
+std::vector<std::string> TableModels(const util::Flags& flags) {
+  std::vector<std::string> models = {"fcl", "tricycle"};
+  if (flags.Has("model")) {
+    const std::string extra = flags.GetString("model", "");
+    bool known = pipeline::FindStructuralModel(extra) != nullptr;
+    AGMDP_CHECK_MSG(known, ("unknown --model; registered: " +
+                            pipeline::StructuralModelNameList())
+                               .c_str());
+    for (const std::string& m : models) {
+      if (m == extra) return models;
+    }
+    models.push_back(extra);
+  }
+  return models;
+}
+
 }  // namespace
 
 int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
   const datasets::DatasetSpec& spec = datasets::PaperSpec(id);
   const int trials = static_cast<int>(flags.GetInt("trials", 5));
   const int iters = static_cast<int>(flags.GetInt("accept_iters", 2));
+  const int threads = static_cast<int>(flags.GetInt("threads", 1));
   std::vector<double> epsilons =
       flags.GetDoubleList("eps", spec.table_epsilons);
+  const std::vector<std::string> models = TableModels(flags);
 
   std::printf("# Tables 2-5 harness: dataset=%s trials=%d\n",
               spec.name.c_str(), trials);
@@ -87,6 +109,7 @@ int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
     options.model = tricycle ? agm::StructuralModelKind::kTriCycLe
                              : agm::StructuralModelKind::kFcl;
     options.acceptance_iterations = iters;
+    options.threads = threads;
     stats::UtilityErrors sum;
     for (int t = 0; t < trials; ++t) {
       auto synthetic = agm::SynthesizeAgmNonPrivate(input, options, rng);
@@ -96,25 +119,28 @@ int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
     PrintRow("nonpriv", tricycle ? "AGM-TriCL" : "AGM-FCL", sum / trials);
   }
 
-  // Private rows.
+  // Private rows: one fully accounted pipeline release per cell.
   for (double eps : epsilons) {
-    for (bool tricycle : {false, true}) {
-      agm::AgmDpOptions options;
-      options.epsilon = eps;
-      options.model = tricycle ? agm::StructuralModelKind::kTriCycLe
-                               : agm::StructuralModelKind::kFcl;
-      options.sample.acceptance_iterations = iters;
+    for (const std::string& model : models) {
+      pipeline::PipelineConfig config;
+      config.epsilon = eps;
+      config.model = model;
+      config.sample.acceptance_iterations = iters;
+      config.sample.threads = threads;
       stats::UtilityErrors sum;
       for (int t = 0; t < trials; ++t) {
-        auto result = agm::SynthesizeAgmDp(input, options, rng);
+        auto result = pipeline::RunPrivateRelease(input, config, rng);
         AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
         sum += stats::CompareGraphs(input, result.value().graph);
       }
-      PrintRow(EpsLabel(eps), tricycle ? "AGMDP-TriCL" : "AGMDP-FCL",
-               sum / trials);
+      PrintRow(EpsLabel(eps), "AGMDP-" + model, sum / trials);
     }
   }
   return 0;
+}
+
+int TableMain(datasets::DatasetId id, int argc, char** argv) {
+  return RunAgmDpTable(id, util::Flags::Parse(argc, argv));
 }
 
 }  // namespace agmdp::bench

@@ -1,5 +1,7 @@
-// Shared harness for Tables 2-5: run AGM(DP)-FCL and AGM(DP)-TriCL on one
-// dataset across its epsilon grid and print the paper's error columns.
+// Shared harness for Tables 2-5: run AGM(DP) on one dataset across its
+// epsilon grid and print the paper's error columns. All private rows route
+// through pipeline::RunPrivateRelease, so each cell is a fully accounted
+// release; --model=NAME adds any registry model as an extra row family.
 #pragma once
 
 #include "src/datasets/datasets.h"
@@ -7,8 +9,12 @@
 
 namespace agmdp::bench {
 
-/// Prints the table for `id` (dataset scale/trials/seed from flags).
+/// Prints the table for `id` (dataset scale/trials/seed/model from flags).
 /// Returns the process exit code.
 int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags);
+
+/// The whole main() of a one-table bench binary: parse flags, run the
+/// table. The per-table sources reduce to a single call of this.
+int TableMain(datasets::DatasetId id, int argc, char** argv);
 
 }  // namespace agmdp::bench

@@ -18,7 +18,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "src/agm/agm_dp.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/datasets/datasets.h"
 #include "src/datasets/homophily.h"
 #include "src/graph/attribute_encoding.h"
@@ -84,17 +84,18 @@ int main(int argc, char** argv) {
   std::printf("relational accuracy on input graph: %.3f\n\n",
               RelationalAccuracy(g));
 
-  agm::AgmDpOptions options;
+  pipeline::PipelineConfig options;
   options.epsilon = epsilon;
+  options.model = "tricycle";
   options.sample.acceptance_iterations = 3;
-  auto tricl = agm::SynthesizeAgmDp(g, options, rng);
+  auto tricl = pipeline::RunPrivateRelease(g, options, rng);
   if (!tricl.ok()) return 1;
   std::printf("AGMDP-TriCL synthetic (eps=%.2f):    %.3f (homophily %.3f)\n",
               epsilon, RelationalAccuracy(tricl.value().graph),
               datasets::SameConfigEdgeFraction(tricl.value().graph));
 
-  options.model = agm::StructuralModelKind::kFcl;
-  auto fcl = agm::SynthesizeAgmDp(g, options, rng);
+  options.model = "fcl";
+  auto fcl = pipeline::RunPrivateRelease(g, options, rng);
   if (!fcl.ok()) return 1;
   std::printf("AGMDP-FCL synthetic (eps=%.2f):      %.3f (homophily %.3f)\n",
               epsilon, RelationalAccuracy(fcl.value().graph),

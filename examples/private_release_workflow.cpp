@@ -3,18 +3,20 @@
 // wants to hand analysts synthetic graphs they can explore freely.
 //
 // Steps: load (or build) the private graph -> pick a privacy budget ->
-// synthesize several independent releases -> evaluate each against the
-// input -> persist them as edge/attribute files.
+// run pipeline::RunPrivateRelease for several independent releases ->
+// audit each release's budget ledger -> evaluate against the input ->
+// persist as edge/attribute files.
 //
 //   ./private_release_workflow [--epsilon=0.69] [--releases=3]
-//                              [--dataset=petster] [--out=/tmp/release]
+//                              [--dataset=petster] [--model=tricycle]
+//                              [--threads=1] [--out=/tmp/release]
 #include <cmath>
 #include <cstdio>
 #include <string>
 
-#include "src/agm/agm_dp.h"
 #include "src/datasets/datasets.h"
 #include "src/graph/graph_io.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/stats/summary.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
@@ -22,12 +24,17 @@
 int main(int argc, char** argv) {
   using namespace agmdp;
   util::Flags flags = util::Flags::Parse(argc, argv);
-  const double epsilon = flags.GetDouble("epsilon", std::log(2.0));
   const int releases = static_cast<int>(flags.GetInt("releases", 3));
   const std::string out = flags.GetString("out", "/tmp/agmdp_release");
   const auto dataset =
       datasets::DatasetByName(flags.GetString("dataset", "petster"));
   util::Rng rng(flags.GetInt("seed", 1));
+
+  pipeline::PipelineConfig config;
+  config.epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  config.model = flags.GetString("model", "tricycle");
+  config.sample.acceptance_iterations = 3;
+  config.sample.threads = static_cast<int>(flags.GetInt("threads", 1));
 
   auto input = datasets::GenerateDataset(dataset, 1.0, 11);
   if (!input.ok()) {
@@ -41,33 +48,46 @@ int main(int argc, char** argv) {
 
   // IMPORTANT privacy note: each release consumes its own epsilon; by
   // sequential composition the owner's total exposure is releases * epsilon.
-  std::printf("total privacy cost: %d x %.3f = %.3f\n\n", releases, epsilon,
-              releases * epsilon);
+  std::printf("total privacy cost: %d x %.3f = %.3f\n\n", releases,
+              config.epsilon, releases * config.epsilon);
 
   for (int i = 0; i < releases; ++i) {
-    agm::AgmDpOptions options;
-    options.epsilon = epsilon;
-    options.sample.acceptance_iterations = 3;
-    auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
+    auto result = pipeline::RunPrivateRelease(input.value(), config, rng);
     if (!result.ok()) {
       std::fprintf(stderr, "release %d failed: %s\n", i,
                    result.status().ToString().c_str());
       return 1;
     }
+    const pipeline::ReleaseResult& release = result.value();
     const std::string prefix = out + "_" + std::to_string(i);
-    if (auto st = graph::WriteAttributedGraph(result.value().graph, prefix);
+    if (auto st = graph::WriteAttributedGraph(release.graph, prefix);
         !st.ok()) {
       std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
       return 1;
     }
     stats::UtilityErrors e =
-        stats::CompareGraphs(input.value(), result.value().graph);
+        stats::CompareGraphs(input.value(), release.graph);
     std::printf("release %d -> %s.{edges,attrs}\n", i, prefix.c_str());
     std::printf("%s\n",
                 stats::FormatSummary(
                     "  synthetic",
-                    stats::Summarize(result.value().graph.structure()))
+                    stats::Summarize(release.graph.structure()))
                     .c_str());
+
+    // The audit trail: the ledger of DP spends, summing to epsilon, plus
+    // where the wall-clock went.
+    std::printf("  ledger:");
+    double spent = 0.0;
+    for (const auto& [label, eps] : release.ledger) {
+      std::printf(" %s=%.4f", label.c_str(), eps);
+      spent += eps;
+    }
+    std::printf(" (total %.4f / %.4f)\n", spent, release.epsilon_budget);
+    std::printf("  stages:");
+    for (const auto& stage : release.stage_seconds) {
+      std::printf(" %s=%.0fms", stage.stage.c_str(), 1e3 * stage.seconds);
+    }
+    std::printf("  [%.2f s total]\n", release.total_seconds);
     std::printf("  H_ThetaF=%.4f KS_S=%.4f tri_re=%.4f m_re=%.4f\n\n",
                 e.theta_f_hellinger, e.degree_ks, e.triangles_re, e.edges_re);
   }

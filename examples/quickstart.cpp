@@ -5,8 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
-#include "src/agm/agm_dp.h"
 #include "src/datasets/datasets.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/stats/summary.h"
 #include "src/util/flags.h"
 #include "src/util/rng.h"
@@ -14,7 +14,6 @@
 int main(int argc, char** argv) {
   using namespace agmdp;
   util::Flags flags = util::Flags::Parse(argc, argv);
-  const double epsilon = flags.GetDouble("epsilon", std::log(2.0));
   util::Rng rng(flags.GetInt("seed", 42));
 
   // 1. A sensitive input graph. Here: the Last.fm stand-in — in a real
@@ -27,19 +26,20 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  // 2. One call: learn all AGM parameters under epsilon-DP and sample a
-  //    synthetic graph (TriCycLe structural model by default).
-  agm::AgmDpOptions options;
-  options.epsilon = epsilon;
-  auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
+  // 2. One call: the release pipeline learns all AGM parameters under
+  //    epsilon-DP and samples a synthetic graph (TriCycLe by default).
+  pipeline::PipelineConfig config;
+  config.epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  auto result = pipeline::RunPrivateRelease(input.value(), config, rng);
   if (!result.ok()) {
     std::fprintf(stderr, "AGM-DP: %s\n", result.status().ToString().c_str());
     return 1;
   }
 
-  // 3. The synthetic graph is safe to publish; compare utility.
+  // 3. The synthetic graph is safe to publish; audit the ledger, compare
+  //    utility.
   std::printf("privacy budget spends:\n");
-  for (const auto& [label, eps] : result.value().budget_ledger) {
+  for (const auto& [label, eps] : result.value().ledger) {
     std::printf("  %-16s eps = %.4f\n", label.c_str(), eps);
   }
   std::printf("\n%s\n",

@@ -1,5 +1,6 @@
 #include "src/agm/agm_dp.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "src/agm/theta_f.h"
@@ -11,9 +12,29 @@
 
 namespace agmdp::agm {
 
-util::Result<AgmDpResult> SynthesizeAgmDp(const graph::AttributedGraph& input,
-                                          const AgmDpOptions& options,
-                                          util::Rng& rng) {
+namespace {
+
+// Runs `stage_fn`, recording its wall-clock cost under `stage` when the
+// caller asked for timings.
+template <typename Fn>
+auto TimedStage(const char* stage, std::vector<StageSeconds>* timings,
+                Fn&& stage_fn) {
+  if (timings == nullptr) return stage_fn();
+  const auto start = std::chrono::steady_clock::now();
+  auto result = stage_fn();
+  const std::chrono::duration<double> elapsed =
+      std::chrono::steady_clock::now() - start;
+  timings->push_back({stage, elapsed.count()});
+  return result;
+}
+
+}  // namespace
+
+util::Result<AgmParams> LearnAgmParamsDp(const graph::AttributedGraph& input,
+                                         const AgmDpOptions& options,
+                                         dp::PrivacyAccountant& accountant,
+                                         util::Rng& rng,
+                                         std::vector<StageSeconds>* timings) {
   if (options.epsilon <= 0.0) {
     return util::Status::InvalidArgument("AGM-DP: epsilon must be positive");
   }
@@ -32,40 +53,41 @@ util::Result<AgmDpResult> SynthesizeAgmDp(const graph::AttributedGraph& input,
         "AGM-DP: budget split exceeds global epsilon");
   }
 
-  dp::PrivacyAccountant accountant(options.epsilon);
   AgmParams params;
   params.w = input.num_attributes();
 
   // Line 3: Θ̃X (Algorithm 5).
   if (auto st = accountant.Spend(split.theta_x, "theta_x"); !st.ok()) return st;
-  params.theta_x = LearnAttributesDp(input, split.theta_x, rng);
+  params.theta_x = TimedStage("theta_x", timings, [&] {
+    return LearnAttributesDp(input, split.theta_x, rng);
+  });
 
   // Line 5: Θ̃F.
   if (auto st = accountant.Spend(split.theta_f, "theta_f"); !st.ok()) return st;
-  switch (options.theta_f_method) {
-    case ThetaFMethod::kEdgeTruncation:
-      params.theta_f = LearnCorrelationsDp(input, split.theta_f,
-                                           options.truncation_k, rng);
-      break;
-    case ThetaFMethod::kSmoothSensitivity:
-      params.theta_f = LearnCorrelationsSmooth(input, split.theta_f,
-                                               options.smooth_delta, rng);
-      break;
-    case ThetaFMethod::kSampleAggregate: {
-      uint32_t group = options.sa_group_size;
-      if (group == 0) {
-        group = static_cast<uint32_t>(
-            std::lround(std::sqrt(static_cast<double>(input.num_nodes()))));
-        if (group < 2) group = 2;
+  params.theta_f = TimedStage("theta_f", timings, [&] {
+    switch (options.theta_f_method) {
+      case ThetaFMethod::kEdgeTruncation:
+        return LearnCorrelationsDp(input, split.theta_f, options.truncation_k,
+                                   rng);
+      case ThetaFMethod::kSmoothSensitivity:
+        return LearnCorrelationsSmooth(input, split.theta_f,
+                                       options.smooth_delta, rng);
+      case ThetaFMethod::kSampleAggregate: {
+        uint32_t group = options.sa_group_size;
+        if (group == 0) {
+          group = static_cast<uint32_t>(
+              std::lround(std::sqrt(static_cast<double>(input.num_nodes()))));
+          if (group < 2) group = 2;
+        }
+        return LearnCorrelationsSampleAggregate(input, split.theta_f, group,
+                                                rng);
       }
-      params.theta_f = LearnCorrelationsSampleAggregate(input, split.theta_f,
-                                                        group, rng);
-      break;
+      case ThetaFMethod::kNaiveLaplace:
+        return LearnCorrelationsNaive(input, split.theta_f, rng);
     }
-    case ThetaFMethod::kNaiveLaplace:
-      params.theta_f = LearnCorrelationsNaive(input, split.theta_f, rng);
-      break;
-  }
+    AGMDP_CHECK(false);
+    return std::vector<double>();
+  });
 
   // Line 4: Θ̃M = {S̄, ñ∆} (Algorithm 6). Constrained inference and the
   // rounding are post-processing on the noisy sequence.
@@ -73,27 +95,43 @@ util::Result<AgmDpResult> SynthesizeAgmDp(const graph::AttributedGraph& input,
       !st.ok()) {
     return st;
   }
-  params.degree_sequence = dp::DpDegreeSequence(
-      graph::DegreeSequence(input.structure()), split.degree_seq, rng);
+  params.degree_sequence = TimedStage("degree_sequence", timings, [&] {
+    return dp::DpDegreeSequence(graph::DegreeSequence(input.structure()),
+                                split.degree_seq, rng);
+  });
 
   if (tricycle) {
     if (auto st = accountant.Spend(split.triangles, "triangles"); !st.ok()) {
       return st;
     }
-    auto triangles = dp::DpTriangleCount(input.structure(), split.triangles,
-                                         rng, options.ladder);
+    auto triangles = TimedStage("triangles", timings, [&] {
+      return dp::DpTriangleCount(input.structure(), split.triangles, rng,
+                                 options.ladder);
+    });
     if (!triangles.ok()) return triangles.status();
     params.target_triangles =
         static_cast<uint64_t>(std::max<int64_t>(0, triangles.value()));
   }
+  return params;
+}
+
+util::Result<AgmDpResult> SynthesizeAgmDp(const graph::AttributedGraph& input,
+                                          const AgmDpOptions& options,
+                                          util::Rng& rng) {
+  if (options.epsilon <= 0.0) {
+    return util::Status::InvalidArgument("AGM-DP: epsilon must be positive");
+  }
+  dp::PrivacyAccountant accountant(options.epsilon);
+  auto params = LearnAgmParamsDp(input, options, accountant, rng);
+  if (!params.ok()) return params.status();
 
   // Lines 6-18: sampling is pure post-processing of the learned parameters.
   AgmSampleOptions sample = options.sample;
   sample.model = options.model;
-  auto synthetic = SampleAgmGraph(params, sample, rng);
+  auto synthetic = SampleAgmGraph(params.value(), sample, rng);
   if (!synthetic.ok()) return synthetic.status();
 
-  AgmDpResult result{std::move(synthetic).value(), std::move(params),
+  AgmDpResult result{std::move(synthetic).value(), std::move(params).value(),
                      accountant.ledger()};
   return result;
 }

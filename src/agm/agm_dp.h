@@ -55,8 +55,28 @@ struct AgmDpResult {
   std::vector<std::pair<std::string, double>> budget_ledger;
 };
 
+/// Wall-clock seconds spent in one named stage of the workflow.
+struct StageSeconds {
+  std::string stage;
+  double seconds = 0.0;
+};
+
+/// The parameter-learning half of Algorithm 3 (lines 3-5): learns
+/// (Θ̃X, Θ̃F, Θ̃M) under the split budget, recording every spend against the
+/// caller's accountant — this is the only function that touches the
+/// sensitive input, so auditing `accountant.ledger()` audits the entire
+/// release. Appends per-stage wall-clock timings to `timings` when non-null.
+/// Fails on invalid options or if a spend would overdraw the accountant.
+util::Result<AgmParams> LearnAgmParamsDp(const graph::AttributedGraph& input,
+                                         const AgmDpOptions& options,
+                                         dp::PrivacyAccountant& accountant,
+                                         util::Rng& rng,
+                                         std::vector<StageSeconds>* timings =
+                                             nullptr);
+
 /// Runs Algorithm 3. Fails on invalid options (non-positive epsilon,
-/// missing attributes, inconsistent split).
+/// missing attributes, inconsistent split). Equivalent to LearnAgmParamsDp
+/// on a fresh accountant followed by SampleAgmGraph.
 util::Result<AgmDpResult> SynthesizeAgmDp(const graph::AttributedGraph& input,
                                           const AgmDpOptions& options,
                                           util::Rng& rng);

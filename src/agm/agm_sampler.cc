@@ -1,12 +1,17 @@
 #include "src/agm/agm_sampler.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <thread>
+#include <unordered_set>
 
 #include "src/agm/theta_f.h"
 #include "src/agm/theta_x.h"
+#include "src/dp/laplace_mechanism.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
+#include "src/util/alias_sampler.h"
 #include "src/util/check.h"
 
 namespace agmdp::agm {
@@ -64,6 +69,149 @@ std::vector<double> ComputeAcceptanceProbabilities(
 
 namespace {
 
+// The fixed shard count of the parallel hot path. Work is always split into
+// this many shards — never into `threads` shards — so the per-shard random
+// sub-streams, and therefore the merged output, do not depend on how many
+// workers happen to execute them.
+constexpr int kProposalShards = 64;
+
+int ResolveThreads(int threads) {
+  if (threads > 0) return std::min(threads, 64);
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 64u));
+}
+
+// Runs fn(0..num_tasks-1) on up to `threads` workers pulling tasks from a
+// shared counter. Task order within a worker is arbitrary; callers must
+// make each task independent and merge results in task order themselves.
+void ParallelFor(int num_tasks, int threads,
+                 const std::function<void(int)>& fn) {
+  threads = std::min(threads, num_tasks);
+  if (threads <= 1) {
+    for (int i = 0; i < num_tasks; ++i) fn(i);
+    return;
+  }
+  std::atomic<int> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([&] {
+      for (;;) {
+        const int i = next.fetch_add(1);
+        if (i >= num_tasks) return;
+        fn(i);
+      }
+    });
+  }
+  for (auto& worker : pool) worker.join();
+}
+
+// One sharded proposal pass of the parallel Fast Chung-Lu sampler. Shard s
+// draws exclusively from util::Rng::Substream(seed_base, stream_offset + s)
+// and collects its accepted edges locally (deduplicating, like the
+// sequential sampler, only among *accepted* edges, so a filter-rejected
+// pair can be re-proposed); the shards are then merged in shard order with
+// cross-shard duplicates dropped. Every quantity here is a function of
+// (seed_base, stream_offset) alone — thread count only changes which worker
+// runs which shard.
+util::Result<graph::Graph> ShardedProposalPass(
+    const std::vector<double>& weights, uint64_t target_edges,
+    uint64_t max_proposals_per_edge, const models::EdgeFilter& filter,
+    int threads, uint64_t seed_base, uint64_t stream_offset,
+    std::vector<graph::Edge>* insertion_order) {
+  const auto n = static_cast<graph::NodeId>(weights.size());
+  if (insertion_order != nullptr) insertion_order->clear();
+  if (target_edges == 0) return graph::Graph(n);
+  auto sampler = util::AliasSampler::Build(weights);
+  if (!sampler.ok()) return sampler.status();
+
+  // Over-provision each shard a little beyond target/shards: cross-shard
+  // duplicates only surface at merge time, and the surplus lets the merge
+  // still reach the target. (Falling short is permitted — FCL's contract —
+  // but the slack makes it rare.)
+  const uint64_t base_quota = (target_edges + kProposalShards - 1) /
+                              static_cast<uint64_t>(kProposalShards);
+  const uint64_t quota = base_quota + base_quota / 4 + 2;
+
+  std::vector<std::vector<graph::Edge>> accepted(kProposalShards);
+  ParallelFor(kProposalShards, threads, [&](int s) {
+    util::Rng rng =
+        util::Rng::Substream(seed_base, stream_offset + static_cast<uint64_t>(s));
+    std::unordered_set<uint64_t> seen;
+    std::vector<graph::Edge>& edges = accepted[s];
+    edges.reserve(quota);
+    const uint64_t budget = max_proposals_per_edge * quota;
+    uint64_t proposals = 0;
+    while (edges.size() < quota && proposals < budget) {
+      ++proposals;
+      const auto u = static_cast<graph::NodeId>(sampler.value().Sample(rng));
+      const auto v = static_cast<graph::NodeId>(sampler.value().Sample(rng));
+      if (u == v || seen.count(graph::PackEdge(u, v)) > 0) continue;
+      if (!models::AcceptEdge(filter, u, v, rng)) continue;
+      seen.insert(graph::PackEdge(u, v));
+      edges.emplace_back(u, v);
+    }
+  });
+
+  graph::Graph g(n);
+  for (const auto& shard : accepted) {
+    for (const graph::Edge& e : shard) {
+      if (g.num_edges() >= target_edges) return g;
+      if (g.AddEdge(e.u, e.v) && insertion_order != nullptr) {
+        insertion_order->push_back(e);
+      }
+    }
+  }
+  return g;
+}
+
+// Parallel counterpart of models::FastChungLu, including the cFCL hub
+// calibration pass (same reweighting rule; the pilot graph it reads is the
+// deterministic shard merge, so the calibration is reproducible too). The
+// second pass uses the next block of sub-streams.
+util::Result<graph::Graph> ShardedFastChungLu(
+    const std::vector<uint32_t>& degrees, const models::ChungLuOptions& options,
+    int threads, uint64_t seed_base) {
+  if (degrees.empty()) {
+    return util::Status::InvalidArgument("FastChungLu: empty degree sequence");
+  }
+  uint64_t total_degree = 0;
+  for (uint32_t d : degrees) total_degree += d;
+  const uint64_t target =
+      options.target_edges > 0 ? options.target_edges : total_degree / 2;
+  if (target == 0) {
+    return graph::Graph(static_cast<graph::NodeId>(degrees.size()));
+  }
+
+  std::vector<double> weights(degrees.begin(), degrees.end());
+  auto first = ShardedProposalPass(
+      weights, target, options.max_proposals_per_edge, options.filter,
+      threads, seed_base, /*stream_offset=*/0, options.insertion_order);
+  if (!first.ok() || !options.bias_correction) return first;
+
+  const graph::Graph& pilot = first.value();
+  const double avg_degree =
+      static_cast<double>(total_degree) / static_cast<double>(degrees.size());
+  const double hub_threshold = std::max(10.0, 3.0 * avg_degree);
+  bool any_adjusted = false;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double desired = degrees[i];
+    if (weights[i] <= 0.0 || desired <= hub_threshold) continue;
+    const double realized = std::max(
+        1.0, static_cast<double>(pilot.Degree(static_cast<graph::NodeId>(i))));
+    const double ratio = std::clamp(desired / realized, 1.0, 4.0);
+    if (ratio > 1.0 + 1e-9) any_adjusted = true;
+    weights[i] *= ratio;
+  }
+  if (!any_adjusted) return first;
+  // The calibrated pass re-clears insertion_order, so the caller sees only
+  // the returned graph's edges, in merge order.
+  return ShardedProposalPass(weights, target, options.max_proposals_per_edge,
+                             options.filter, threads, seed_base,
+                             /*stream_offset=*/kProposalShards,
+                             options.insertion_order);
+}
+
 // Generates the edge set for the current acceptance vector (empty = none).
 util::Result<graph::Graph> GenerateStructure(
     const AgmParams& params, const AgmSampleOptions& options,
@@ -79,11 +227,19 @@ util::Result<graph::Graph> GenerateStructure(
     };
   }
 
+  if (options.generator) return options.generator(params, filter, rng);
+
   if (options.model == StructuralModelKind::kFcl) {
     models::ChungLuOptions fcl = options.fcl;
     fcl.filter = filter;
-    return models::FastChungLu(params.degree_sequence, rng, fcl);
+    // One master draw keys the whole sharded pass, so the master stream
+    // advances identically at any thread count.
+    const uint64_t seed_base = rng.Next();
+    return ShardedFastChungLu(params.degree_sequence, fcl,
+                              ResolveThreads(options.threads), seed_base);
   }
+  // TriCycLe's oldest-edge rewiring chain is inherently sequential (every
+  // swap depends on the full edge-age state); it stays on the master stream.
   models::TriCycLeOptions tri = options.tricycle;
   tri.filter = filter;
   auto result = models::GenerateTriCycLe(params.degree_sequence,
@@ -93,6 +249,41 @@ util::Result<graph::Graph> GenerateStructure(
 }
 
 }  // namespace
+
+std::vector<double> MeasureThetaF(const graph::AttributedGraph& g,
+                                  int threads) {
+  const int w = g.num_attributes();
+  const uint64_t n = g.num_nodes();
+  const uint32_t dim = graph::NumEdgeConfigs(w);
+  const int workers = static_cast<int>(std::min<uint64_t>(
+      static_cast<uint64_t>(ResolveThreads(threads)), std::max<uint64_t>(n, 1)));
+
+  // Per-worker exact counts over a node-range partition. The counts are
+  // integers (< 2^53), so their sum — and hence the result — is identical
+  // at any worker count.
+  std::vector<std::vector<double>> partial(
+      workers, std::vector<double>(dim, 0.0));
+  ParallelFor(workers, workers, [&](int t) {
+    const auto lo = static_cast<graph::NodeId>(n * t / workers);
+    const auto hi = static_cast<graph::NodeId>(n * (t + 1) / workers);
+    std::vector<double>& counts = partial[t];
+    for (graph::NodeId u = lo; u < hi; ++u) {
+      for (graph::NodeId v : g.structure().Neighbors(u)) {
+        if (u < v) {
+          counts[graph::EncodeEdgeConfig(g.attribute(u), g.attribute(v), w)] +=
+              1.0;
+        }
+      }
+    }
+  });
+  std::vector<double> counts(dim, 0.0);
+  for (const auto& p : partial) {
+    for (uint32_t y = 0; y < dim; ++y) counts[y] += p[y];
+  }
+  // Same normalization as ComputeThetaF (uniform when edgeless).
+  return dp::ClampAndNormalize(std::move(counts), 0.0,
+                               static_cast<double>(g.num_edges() + 1));
+}
 
 util::Result<graph::AttributedGraph> SampleAgmGraph(
     const AgmParams& params, const AgmSampleOptions& options,
@@ -121,7 +312,8 @@ util::Result<graph::AttributedGraph> SampleAgmGraph(
   // Lines 9-18: iterate acceptance probabilities to convergence.
   std::vector<double> a_old;
   for (int iter = 0; iter < options.acceptance_iterations; ++iter) {
-    const std::vector<double> observed = ComputeThetaF(synthetic);
+    const std::vector<double> observed =
+        MeasureThetaF(synthetic, options.threads);
     std::vector<double> acceptance = ComputeAcceptanceProbabilities(
         params.theta_f, observed, a_old, options.min_acceptance);
 

@@ -12,10 +12,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "src/graph/attributed_graph.h"
 #include "src/models/chung_lu.h"
+#include "src/models/edge_filter.h"
 #include "src/models/tricycle.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
@@ -39,8 +41,25 @@ struct AgmParams {
 /// baselines of Tables 2-5.
 AgmParams LearnAgmParams(const graph::AttributedGraph& g);
 
+/// Pluggable structural-model hook: given the (private) AGM parameters and
+/// the attribute-acceptance filter, generate an edge set. Used by the
+/// pipeline's model registry to plug models beyond the two builtins into
+/// the AGM loop without this layer knowing about them.
+using StructuralGenerator = std::function<util::Result<graph::Graph>(
+    const AgmParams& params, const models::EdgeFilter& filter,
+    util::Rng& rng)>;
+
 struct AgmSampleOptions {
   StructuralModelKind model = StructuralModelKind::kTriCycLe;
+  /// Overrides `model` when set (registry-provided structural models).
+  StructuralGenerator generator;
+  /// Worker threads for the sampler hot path (sharded FCL edge proposals
+  /// and Θ'F measurement). 0 = hardware concurrency. The output graph is
+  /// bitwise-identical for a given seed at any thread count: the work is
+  /// split into a fixed number of shards with deterministic per-shard
+  /// sub-streams (util::Rng::Substream), and shard results are merged in
+  /// shard order — threads only change the schedule, never the stream.
+  int threads = 1;
   /// Acceptance-probability refinement iterations ("A tended to converge
   /// after just a few iterations", Section 4).
   int acceptance_iterations = 3;
@@ -64,5 +83,11 @@ std::vector<double> ComputeAcceptanceProbabilities(
     const std::vector<double>& theta_f_target,
     const std::vector<double>& theta_f_observed,
     const std::vector<double>& a_old, double min_acceptance);
+
+/// Θ'F measured over `threads` workers (node-range partition; exact integer
+/// counts, so the result is identical at any thread count). Equals
+/// ComputeThetaF(g) and is exposed so benches can time the parallel path.
+std::vector<double> MeasureThetaF(const graph::AttributedGraph& g,
+                                  int threads);
 
 }  // namespace agmdp::agm

@@ -1,0 +1,43 @@
+// Structural-model registry: the set of models the release pipeline can
+// plug into the AGM sampling loop, keyed by name.
+//
+// The two paper models (FCL, TriCycLe) are "builtin": the AGM sampler has
+// dedicated fast paths for them (the sharded parallel Chung-Lu sampler and
+// the sequential rewiring chain). Every other entry supplies an
+// agm::StructuralGenerator that builds an edge set from the private
+// parameters (degree sequence, optionally a triangle target) and the
+// attribute-acceptance filter — adding a scenario is one registry entry,
+// with budget accounting and CLI/bench wiring inherited for free.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/agm/agm_sampler.h"
+
+namespace agmdp::pipeline {
+
+struct StructuralModelSpec {
+  std::string name;
+  std::string description;
+  /// Whether ΘM includes a DP triangle-count target for this model (and
+  /// therefore whether the default budget split reserves a share for it).
+  bool needs_triangles = false;
+  /// True for the sampler's builtin fast paths (fcl / tricycle).
+  bool builtin = false;
+  /// Valid when `builtin`.
+  agm::StructuralModelKind kind = agm::StructuralModelKind::kFcl;
+  /// Valid when not `builtin`.
+  agm::StructuralGenerator generator;
+};
+
+/// Returns the spec registered under `name`, or nullptr if unknown.
+const StructuralModelSpec* FindStructuralModel(const std::string& name);
+
+/// All registered model names, in registry order.
+std::vector<std::string> StructuralModelNames();
+
+/// Comma-separated registry names (for usage/error messages).
+std::string StructuralModelNameList();
+
+}  // namespace agmdp::pipeline

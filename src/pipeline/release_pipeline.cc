@@ -1,0 +1,130 @@
+#include "src/pipeline/release_pipeline.h"
+
+#include <chrono>
+#include <utility>
+
+namespace agmdp::pipeline {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+util::Result<const StructuralModelSpec*> ResolveModel(
+    const PipelineConfig& config) {
+  const StructuralModelSpec* spec = FindStructuralModel(config.model);
+  if (spec == nullptr) {
+    return util::Status::InvalidArgument(
+        "pipeline: unknown structural model '" + config.model +
+        "' (registered: " + StructuralModelNameList() + ")");
+  }
+  return spec;
+}
+
+// Maps the pipeline config onto the AGM learner's options. Models that
+// learn a triangle target follow TriCycLe's budget semantics (even four-way
+// default split), the rest follow FCL's (S-heavy three-way).
+agm::AgmDpOptions MakeLearnOptions(const PipelineConfig& config,
+                                   const StructuralModelSpec& spec) {
+  agm::AgmDpOptions options;
+  options.epsilon = config.epsilon;
+  options.model = spec.needs_triangles ? agm::StructuralModelKind::kTriCycLe
+                                       : agm::StructuralModelKind::kFcl;
+  options.theta_f_method = config.theta_f_method;
+  options.truncation_k = config.truncation_k;
+  options.smooth_delta = config.smooth_delta;
+  options.sa_group_size = config.sa_group_size;
+  options.split = config.split;
+  options.ladder = config.ladder;
+  return options;
+}
+
+agm::AgmSampleOptions MakeSampleOptions(const PipelineConfig& config,
+                                        const StructuralModelSpec& spec) {
+  agm::AgmSampleOptions options = config.sample;
+  if (spec.builtin) {
+    options.model = spec.kind;
+    options.generator = nullptr;
+  } else {
+    options.generator = spec.generator;
+  }
+  return options;
+}
+
+// The fit half, with the model already resolved (shared by
+// FitPrivateParams and RunPrivateRelease so the registry is consulted and
+// the config validated in exactly one place).
+util::Result<FitResult> FitWithSpec(const graph::AttributedGraph& input,
+                                    const PipelineConfig& config,
+                                    const StructuralModelSpec& spec,
+                                    util::Rng& rng) {
+  if (config.epsilon <= 0.0) {
+    return util::Status::InvalidArgument(
+        "pipeline: epsilon must be positive");
+  }
+
+  dp::PrivacyAccountant accountant(config.epsilon);
+  std::vector<agm::StageSeconds> timings;
+  auto params = agm::LearnAgmParamsDp(input, MakeLearnOptions(config, spec),
+                                      accountant, rng, &timings);
+  if (!params.ok()) return params.status();
+
+  FitResult result;
+  result.params = std::move(params).value();
+  result.ledger = accountant.ledger();
+  result.epsilon_budget = accountant.total();
+  result.epsilon_spent = accountant.spent();
+  result.stage_seconds = std::move(timings);
+  return result;
+}
+
+}  // namespace
+
+util::Result<FitResult> FitPrivateParams(const graph::AttributedGraph& input,
+                                         const PipelineConfig& config,
+                                         util::Rng& rng) {
+  auto spec = ResolveModel(config);
+  if (!spec.ok()) return spec.status();
+  return FitWithSpec(input, config, *spec.value(), rng);
+}
+
+util::Result<graph::AttributedGraph> SampleRelease(
+    const agm::AgmParams& params, const PipelineConfig& config,
+    util::Rng& rng) {
+  auto spec = ResolveModel(config);
+  if (!spec.ok()) return spec.status();
+  return agm::SampleAgmGraph(params, MakeSampleOptions(config, *spec.value()),
+                             rng);
+}
+
+util::Result<ReleaseResult> RunPrivateRelease(
+    const graph::AttributedGraph& input, const PipelineConfig& config,
+    util::Rng& rng) {
+  const Clock::time_point start = Clock::now();
+  auto spec = ResolveModel(config);
+  if (!spec.ok()) return spec.status();
+  auto fit = FitWithSpec(input, config, *spec.value(), rng);
+  if (!fit.ok()) return fit.status();
+
+  const Clock::time_point sample_start = Clock::now();
+  auto synthetic = agm::SampleAgmGraph(
+      fit.value().params, MakeSampleOptions(config, *spec.value()), rng);
+  if (!synthetic.ok()) return synthetic.status();
+
+  ReleaseResult result{std::move(synthetic).value(),
+                       std::move(fit.value().params),
+                       std::move(fit.value().ledger),
+                       fit.value().epsilon_budget,
+                       fit.value().epsilon_spent,
+                       std::move(fit.value().stage_seconds),
+                       0.0,
+                       config.model};
+  result.stage_seconds.push_back({"sample", SecondsSince(sample_start)});
+  result.total_seconds = SecondsSince(start);
+  return result;
+}
+
+}  // namespace agmdp::pipeline

@@ -1,0 +1,46 @@
+// The unified private-release pipeline: fit → sample with one
+// PrivacyAccountant threaded through every DP stage.
+//
+// This is the single entry point the CLI, the examples, and the benches
+// route through. The contract:
+//
+//   * Budget accounting — every epsilon spend of the release is recorded in
+//     one accountant; the returned ledger's spends sum to the configured
+//     global epsilon under the model-default splits (sequential
+//     composition, Theorem 2), so auditing the ledger audits the release.
+//   * Post-processing — only FitPrivateParams / the fit half of
+//     RunPrivateRelease reads the sensitive input; sampling is pure
+//     post-processing and can be repeated at no additional privacy cost.
+//   * Determinism — for a fixed config and Rng seed the synthetic graph is
+//     bitwise-identical at any `sample.threads` setting (see
+//     agm_sampler.h and DESIGN.md).
+#pragma once
+
+#include "src/pipeline/model_registry.h"
+#include "src/pipeline/pipeline_config.h"
+#include "src/util/rng.h"
+#include "src/util/status.h"
+
+namespace agmdp::pipeline {
+
+/// Learns the private AGM parameters (the only step that touches the
+/// sensitive input) and returns them with the accountant ledger and stage
+/// timings. Fails on an unknown model name, non-positive epsilon, or a
+/// split exceeding the budget.
+util::Result<FitResult> FitPrivateParams(const graph::AttributedGraph& input,
+                                         const PipelineConfig& config,
+                                         util::Rng& rng);
+
+/// Samples a synthetic graph from already-learned parameters under
+/// `config`'s model and sampler settings. Pure post-processing.
+util::Result<graph::AttributedGraph> SampleRelease(
+    const agm::AgmParams& params, const PipelineConfig& config,
+    util::Rng& rng);
+
+/// The end-to-end private release: fit + sample under one accountant, with
+/// per-stage wall-clock metrics in the result.
+util::Result<ReleaseResult> RunPrivateRelease(
+    const graph::AttributedGraph& input, const PipelineConfig& config,
+    util::Rng& rng);
+
+}  // namespace agmdp::pipeline

@@ -53,6 +53,16 @@ class Rng {
   /// handing to parallel or repeated trials.
   Rng Fork();
 
+  /// Returns the generator for sub-stream `stream_index` of the family
+  /// rooted at `base_seed`: the xoshiro256++ state is seeded from the
+  /// SplitMix64 state reached by jumping `stream_index` steps past
+  /// `base_seed`. A pure function of its arguments, so parallel workers can
+  /// derive their streams without synchronization, and a fixed
+  /// (base, index) -> stream mapping makes sharded computations
+  /// bitwise-reproducible regardless of how shards are scheduled onto
+  /// threads.
+  static Rng Substream(uint64_t base_seed, uint64_t stream_index);
+
   /// Fisher-Yates shuffles `items` in place.
   template <typename T>
   void Shuffle(std::vector<T>* items) {

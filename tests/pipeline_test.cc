@@ -1,0 +1,211 @@
+// Contract tests for the unified release pipeline: budget-ledger exactness
+// across every registered structural model, thread-count invariance of the
+// sampler (the determinism contract of DESIGN.md), and registry behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "src/agm/agm_sampler.h"
+#include "src/agm/theta_f.h"
+#include "src/datasets/datasets.h"
+#include "src/pipeline/release_pipeline.h"
+#include "src/util/rng.h"
+
+namespace agmdp {
+namespace {
+
+const graph::AttributedGraph& Input() {
+  static const graph::AttributedGraph* input = [] {
+    auto g = datasets::GenerateDataset(datasets::DatasetId::kPetster, 0.2, 3);
+    AGMDP_CHECK_MSG(g.ok(), g.status().ToString().c_str());
+    return new graph::AttributedGraph(std::move(g).value());
+  }();
+  return *input;
+}
+
+bool SameGraph(const graph::AttributedGraph& a,
+               const graph::AttributedGraph& b) {
+  return a.num_nodes() == b.num_nodes() &&
+         a.attributes() == b.attributes() &&
+         a.structure().CanonicalEdges() == b.structure().CanonicalEdges();
+}
+
+// ------------------------------------------------------------- registry --
+
+TEST(ModelRegistryTest, AllModelsRegisteredAndResolvable) {
+  const std::vector<std::string> names = pipeline::StructuralModelNames();
+  for (const char* expected :
+       {"tricycle", "fcl", "bter", "holme_kim", "erdos_renyi"}) {
+    EXPECT_NE(std::find(names.begin(), names.end(), expected), names.end())
+        << expected;
+    EXPECT_NE(pipeline::FindStructuralModel(expected), nullptr) << expected;
+  }
+  EXPECT_EQ(pipeline::FindStructuralModel("no_such_model"), nullptr);
+}
+
+TEST(ModelRegistryTest, UnknownModelFailsCleanly) {
+  pipeline::PipelineConfig config;
+  config.model = "no_such_model";
+  util::Rng rng(1);
+  auto result = pipeline::RunPrivateRelease(Input(), config, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  // The error lists the registered names to guide the caller.
+  EXPECT_NE(result.status().message().find("tricycle"), std::string::npos);
+}
+
+// ------------------------------------------------------- budget ledgers --
+
+// The tentpole invariant: for every registered model, the spends recorded
+// by RunPrivateRelease sum to exactly the configured global epsilon.
+TEST(ReleasePipelineTest, LedgerSumsExactlyToEpsilonForEveryModel) {
+  for (const std::string& model : pipeline::StructuralModelNames()) {
+    pipeline::PipelineConfig config;
+    config.epsilon = std::log(2.0);
+    config.model = model;
+    config.sample.acceptance_iterations = 1;
+    util::Rng rng(7);
+    auto result = pipeline::RunPrivateRelease(Input(), config, rng);
+    ASSERT_TRUE(result.ok()) << model << ": " << result.status().ToString();
+
+    double sum = 0.0;
+    for (const auto& [label, eps] : result.value().ledger) {
+      EXPECT_GT(eps, 0.0) << model << "/" << label;
+      sum += eps;
+    }
+    EXPECT_DOUBLE_EQ(sum, config.epsilon) << model;
+    EXPECT_DOUBLE_EQ(result.value().epsilon_spent, config.epsilon) << model;
+    EXPECT_DOUBLE_EQ(result.value().epsilon_budget, config.epsilon) << model;
+
+    // Models with a triangle target spend on four stages, the rest on three.
+    const bool triangles =
+        pipeline::FindStructuralModel(model)->needs_triangles;
+    EXPECT_EQ(result.value().ledger.size(), triangles ? 4u : 3u) << model;
+
+    // Well-formed release.
+    EXPECT_EQ(result.value().graph.num_nodes(), Input().num_nodes());
+    EXPECT_GT(result.value().graph.num_edges(), 0u) << model;
+    EXPECT_EQ(result.value().model, model);
+  }
+}
+
+TEST(ReleasePipelineTest, FitAloneCarriesFullLedgerAndStageTimings) {
+  pipeline::PipelineConfig config;
+  config.epsilon = 1.0;
+  config.model = "tricycle";
+  util::Rng rng(11);
+  auto fit = pipeline::FitPrivateParams(Input(), config, rng);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+
+  double sum = 0.0;
+  for (const auto& [label, eps] : fit.value().ledger) sum += eps;
+  EXPECT_DOUBLE_EQ(sum, config.epsilon);
+  ASSERT_EQ(fit.value().stage_seconds.size(), 4u);
+  EXPECT_EQ(fit.value().stage_seconds[0].stage, "theta_x");
+  EXPECT_EQ(fit.value().stage_seconds[3].stage, "triangles");
+  EXPECT_EQ(fit.value().params.degree_sequence.size(), Input().num_nodes());
+}
+
+TEST(ReleasePipelineTest, ReleaseRecordsSampleStageAndTotalTime) {
+  pipeline::PipelineConfig config;
+  config.model = "fcl";
+  config.sample.acceptance_iterations = 1;
+  util::Rng rng(13);
+  auto result = pipeline::RunPrivateRelease(Input(), config, rng);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result.value().stage_seconds.empty());
+  EXPECT_EQ(result.value().stage_seconds.back().stage, "sample");
+  EXPECT_GE(result.value().total_seconds, 0.0);
+}
+
+TEST(ReleasePipelineTest, OverdrawnSplitIsRejected) {
+  pipeline::PipelineConfig config;
+  config.epsilon = 0.5;
+  config.split.theta_x = 0.4;
+  config.split.theta_f = 0.4;
+  config.split.degree_seq = 0.4;
+  util::Rng rng(17);
+  auto result = pipeline::RunPrivateRelease(Input(), config, rng);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------- determinism --
+
+// Same seed => identical synthetic graph at 1, 2 and 4 sampler threads,
+// for both the sharded-FCL hot path and the TriCycLe path (whose Θ'F
+// measurement is the parallel part).
+TEST(SamplerDeterminismTest, IdenticalGraphAcross124Threads) {
+  for (const std::string& model : {std::string("fcl"), std::string("tricycle")}) {
+    pipeline::PipelineConfig fit_config;
+    fit_config.model = model;
+    util::Rng fit_rng(23);
+    auto fit = pipeline::FitPrivateParams(Input(), fit_config, fit_rng);
+    ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+
+    graph::AttributedGraph reference;
+    for (int threads : {1, 2, 4}) {
+      pipeline::PipelineConfig config;
+      config.model = model;
+      config.sample.acceptance_iterations = 2;
+      config.sample.threads = threads;
+      util::Rng rng(42);
+      auto sampled = pipeline::SampleRelease(fit.value().params, config, rng);
+      ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+      if (threads == 1) {
+        reference = std::move(sampled).value();
+      } else {
+        EXPECT_TRUE(SameGraph(reference, sampled.value()))
+            << model << " diverged at " << threads << " threads";
+      }
+    }
+    EXPECT_GT(reference.num_edges(), 0u);
+  }
+}
+
+TEST(SamplerDeterminismTest, EndToEndReleaseIsThreadCountInvariant) {
+  graph::AttributedGraph reference;
+  for (int threads : {1, 4}) {
+    pipeline::PipelineConfig config;
+    config.model = "fcl";
+    config.sample.acceptance_iterations = 2;
+    config.sample.threads = threads;
+    util::Rng rng(29);
+    auto result = pipeline::RunPrivateRelease(Input(), config, rng);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    if (threads == 1) {
+      reference = std::move(result).value().graph;
+    } else {
+      EXPECT_TRUE(SameGraph(reference, result.value().graph));
+    }
+  }
+}
+
+TEST(SamplerDeterminismTest, ParallelThetaFMatchesSequential) {
+  const std::vector<double> expected = agm::ComputeThetaF(Input());
+  for (int threads : {1, 2, 4, 0}) {
+    const std::vector<double> measured = agm::MeasureThetaF(Input(), threads);
+    ASSERT_EQ(measured.size(), expected.size());
+    for (size_t y = 0; y < expected.size(); ++y) {
+      EXPECT_DOUBLE_EQ(measured[y], expected[y]) << "threads=" << threads;
+    }
+  }
+}
+
+TEST(SamplerDeterminismTest, SubstreamIsPureAndDistinct) {
+  util::Rng a = util::Rng::Substream(123, 0);
+  util::Rng b = util::Rng::Substream(123, 0);
+  util::Rng c = util::Rng::Substream(123, 1);
+  bool differs = false;
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t x = a.Next();
+    EXPECT_EQ(x, b.Next());
+    if (x != c.Next()) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace agmdp

@@ -1,33 +1,43 @@
 // agmdp — command-line front end for the library.
 //
+// All private-release subcommands route through pipeline::RunPrivateRelease
+// and friends, so every epsilon spend is recorded in one PrivacyAccountant
+// ledger (printed after each fit).
+//
 // Subcommands:
 //   generate   --dataset=lastfm --scale=1.0 --seed=7 --out=PREFIX
 //              Generate a synthetic stand-in dataset (writes PREFIX.edges /
 //              PREFIX.attrs).
-//   fit        --in=PREFIX --epsilon=0.69 [--model=tricycle|fcl]
-//              --params-out=FILE
+//   fit        --in=PREFIX --epsilon=0.69 [--model=NAME] --params-out=FILE
 //              Learn the differentially private AGM parameters and store
 //              them. This is the only step that touches the sensitive data.
-//   sample     --params=FILE --out=PREFIX [--seed=1] [--model=tricycle|fcl]
+//   sample     --params=FILE --out=PREFIX [--seed=1] [--model=NAME]
+//              [--threads=T]
 //              Sample a synthetic graph from stored parameters (pure
 //              post-processing; repeatable at no extra privacy cost).
-//   synthesize --in=PREFIX --epsilon=0.69 --out=PREFIX2
-//              fit + sample in one step.
+//   synthesize --in=PREFIX --epsilon=0.69 --out=PREFIX2 [--model=NAME]
+//              [--threads=T]
+//              fit + sample in one step, with stage timings.
+//   models     List the registered structural models.
 //   stats      --in=PREFIX
 //              Structural summary, assortativity and path statistics.
 //   evaluate   --in=PREFIX --synthetic=PREFIX2
 //              The paper's utility error columns between two graphs.
 //   export     --in=PREFIX --out=FILE.graphml
 //              GraphML export for external tools.
+//
+// --model accepts any registry name (see `agmdp models`); --threads sets
+// the sampler worker count (0 = hardware concurrency) — output is
+// identical for a given seed at any thread count.
 #include <cmath>
 #include <cstdio>
 #include <string>
 
-#include "src/agm/agm_dp.h"
 #include "src/agm/params_io.h"
 #include "src/datasets/datasets.h"
 #include "src/graph/graph_io.h"
 #include "src/graph/paths.h"
+#include "src/pipeline/release_pipeline.h"
 #include "src/stats/assortativity.h"
 #include "src/stats/joint_degree.h"
 #include "src/stats/summary.h"
@@ -45,16 +55,37 @@ int Fail(const util::Status& status) {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: agmdp <generate|fit|sample|synthesize|stats|evaluate|"
-               "export> [--flags]\n"
+               "usage: agmdp <generate|fit|sample|synthesize|models|stats|"
+               "evaluate|export> [--flags]\n"
                "see the header of tools/agmdp_cli.cc for details\n");
   return 2;
 }
 
-agm::StructuralModelKind ModelFromFlags(const util::Flags& flags) {
-  return flags.GetString("model", "tricycle") == "fcl"
-             ? agm::StructuralModelKind::kFcl
-             : agm::StructuralModelKind::kTriCycLe;
+pipeline::PipelineConfig ConfigFromFlags(const util::Flags& flags) {
+  pipeline::PipelineConfig config;
+  config.epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  config.model = flags.GetString("model", "tricycle");
+  config.sample.threads = static_cast<int>(flags.GetInt("threads", 1));
+  config.sample.acceptance_iterations =
+      static_cast<int>(flags.GetInt("accept_iters", 3));
+  config.truncation_k = static_cast<uint32_t>(flags.GetInt("truncation_k", 0));
+  return config;
+}
+
+void PrintLedger(const pipeline::BudgetLedger& ledger, double budget) {
+  double spent = 0.0;
+  for (const auto& [label, eps] : ledger) {
+    std::printf("  %-16s eps = %.4f\n", label.c_str(), eps);
+    spent += eps;
+  }
+  std::printf("  %-16s eps = %.4f / %.4f\n", "total", spent, budget);
+}
+
+void PrintStageTimings(const std::vector<agm::StageSeconds>& stages) {
+  for (const auto& stage : stages) {
+    std::printf("  %-16s %8.3f ms\n", stage.stage.c_str(),
+                1e3 * stage.seconds);
+  }
 }
 
 util::Result<graph::AttributedGraph> LoadInput(const util::Flags& flags,
@@ -86,33 +117,27 @@ int CmdGenerate(const util::Flags& flags) {
 int CmdFit(const util::Flags& flags) {
   auto input = LoadInput(flags, "in");
   if (!input.ok()) return Fail(input.status());
-  agm::AgmDpOptions options;
-  options.epsilon = flags.GetDouble("epsilon", std::log(2.0));
-  options.model = ModelFromFlags(flags);
+  const pipeline::PipelineConfig config = ConfigFromFlags(flags);
   util::Rng rng(flags.GetInt("seed", 1));
 
-  // Learn parameters and discard the sampled graph: store only the params.
-  auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
-  if (!result.ok()) return Fail(result.status());
+  auto fit = pipeline::FitPrivateParams(input.value(), config, rng);
+  if (!fit.ok()) return Fail(fit.status());
   const std::string out = flags.GetString("params-out", "agm.params");
-  if (auto st = agm::WriteAgmParams(result.value().params, out); !st.ok()) {
+  if (auto st = agm::WriteAgmParams(fit.value().params, out); !st.ok()) {
     return Fail(st);
   }
-  std::printf("learned eps=%.4f params -> %s\n", options.epsilon,
-              out.c_str());
-  for (const auto& [label, eps] : result.value().budget_ledger) {
-    std::printf("  %-16s eps = %.4f\n", label.c_str(), eps);
-  }
+  std::printf("learned eps=%.4f params (model=%s) -> %s\n", config.epsilon,
+              config.model.c_str(), out.c_str());
+  PrintLedger(fit.value().ledger, fit.value().epsilon_budget);
   return 0;
 }
 
 int CmdSample(const util::Flags& flags) {
   auto params = agm::ReadAgmParams(flags.GetString("params", "agm.params"));
   if (!params.ok()) return Fail(params.status());
-  agm::AgmSampleOptions options;
-  options.model = ModelFromFlags(flags);
+  const pipeline::PipelineConfig config = ConfigFromFlags(flags);
   util::Rng rng(flags.GetInt("seed", 1));
-  auto g = agm::SampleAgmGraph(params.value(), options, rng);
+  auto g = pipeline::SampleRelease(params.value(), config, rng);
   if (!g.ok()) return Fail(g.status());
   const std::string out = flags.GetString("out", "synthetic");
   if (auto st = graph::WriteAttributedGraph(g.value(), out); !st.ok()) {
@@ -128,11 +153,9 @@ int CmdSample(const util::Flags& flags) {
 int CmdSynthesize(const util::Flags& flags) {
   auto input = LoadInput(flags, "in");
   if (!input.ok()) return Fail(input.status());
-  agm::AgmDpOptions options;
-  options.epsilon = flags.GetDouble("epsilon", std::log(2.0));
-  options.model = ModelFromFlags(flags);
+  const pipeline::PipelineConfig config = ConfigFromFlags(flags);
   util::Rng rng(flags.GetInt("seed", 1));
-  auto result = agm::SynthesizeAgmDp(input.value(), options, rng);
+  auto result = pipeline::RunPrivateRelease(input.value(), config, rng);
   if (!result.ok()) return Fail(result.status());
   const std::string out = flags.GetString("out", "synthetic");
   if (auto st = graph::WriteAttributedGraph(result.value().graph, out);
@@ -143,6 +166,20 @@ int CmdSynthesize(const util::Flags& flags) {
               stats::FormatSummary(
                   out, stats::Summarize(result.value().graph.structure()))
                   .c_str());
+  std::printf("budget ledger:\n");
+  PrintLedger(result.value().ledger, result.value().epsilon_budget);
+  std::printf("stage timings (total %.3f s):\n", result.value().total_seconds);
+  PrintStageTimings(result.value().stage_seconds);
+  return 0;
+}
+
+int CmdModels(const util::Flags&) {
+  for (const std::string& name : pipeline::StructuralModelNames()) {
+    const pipeline::StructuralModelSpec* spec =
+        pipeline::FindStructuralModel(name);
+    std::printf("%-12s %s%s\n", name.c_str(), spec->description.c_str(),
+                spec->needs_triangles ? " [learns triangle target]" : "");
+  }
   return 0;
 }
 
@@ -210,6 +247,7 @@ int main(int argc, char** argv) {
   if (command == "fit") return CmdFit(flags);
   if (command == "sample") return CmdSample(flags);
   if (command == "synthesize") return CmdSynthesize(flags);
+  if (command == "models") return CmdModels(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "export") return CmdExport(flags);
