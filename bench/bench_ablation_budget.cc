@@ -6,8 +6,9 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/eval/aggregate.h"
+#include "src/eval/utility_report.h"
 #include "src/pipeline/release_pipeline.h"
-#include "src/stats/summary.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -41,6 +42,7 @@ int main(int argc, char** argv) {
 
   for (datasets::DatasetId id : bench::SelectedDatasets(flags)) {
     graph::AttributedGraph input = bench::LoadDataset(id, flags);
+    const eval::ReferenceProfile reference = eval::ProfileReference(input);
     util::Rng rng(flags.GetInt("seed", 10) + static_cast<int>(id));
     for (const SplitSpec& split : splits) {
       pipeline::PipelineConfig options;
@@ -51,17 +53,20 @@ int main(int argc, char** argv) {
       options.split.degree_seq = split.s * eps;
       options.split.triangles = split.t * eps;
       options.sample.acceptance_iterations = 2;
-      stats::UtilityErrors sum;
+      eval::ReportAccumulator accumulator;
       for (int t = 0; t < trials; ++t) {
         auto result = pipeline::RunPrivateRelease(input, options, rng);
         AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-        sum += stats::CompareGraphs(input, result.value().graph);
+        accumulator.Add(
+            eval::EvaluateRelease(reference, result.value().graph));
       }
-      stats::UtilityErrors mean = sum / trials;
       std::printf("%-10s %-18s %8.4f %8.4f %8.4f %8.4f %8.4f\n",
                   datasets::PaperSpec(id).name.c_str(), split.name,
-                  mean.theta_f_hellinger, mean.degree_ks, mean.triangles_re,
-                  mean.avg_clustering_re, mean.edges_re);
+                  accumulator.Mean("theta_f_hellinger"),
+                  accumulator.Mean("degree_ks"),
+                  accumulator.Mean("triangles_re"),
+                  accumulator.Mean("avg_clustering_re"),
+                  accumulator.Mean("edges_re"));
     }
   }
   return 0;

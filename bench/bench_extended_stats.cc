@@ -2,41 +2,27 @@
 // only target degrees, triangles and ΘF; this bench checks how well the
 // synthetic graphs preserve statistics the pipeline never optimizes —
 // average path length, effective diameter, degree assortativity and
-// attribute assortativity (homophily).
+// attribute assortativity (homophily). All measurement routes through
+// eval::ProfileGraph.
 #include <cmath>
 #include <cstdio>
 
 #include "bench/bench_util.h"
-#include "src/graph/paths.h"
+#include "src/eval/utility_report.h"
 #include "src/pipeline/release_pipeline.h"
-#include "src/stats/assortativity.h"
 #include "src/util/rng.h"
 
 namespace {
 
 using namespace agmdp;
 
-struct ExtendedStats {
-  double avg_path = 0.0;
-  double eff_diameter = 0.0;
-  double degree_assort = 0.0;
-  double attr_assort = 0.0;
-};
-
-ExtendedStats Measure(const graph::AttributedGraph& g, util::Rng& rng) {
-  ExtendedStats s;
-  graph::PathStats paths = graph::EstimatePathStats(g.structure(), 48, rng);
-  s.avg_path = paths.avg_path_length;
-  s.eff_diameter = paths.effective_diameter;
-  s.degree_assort = stats::DegreeAssortativity(g.structure());
-  s.attr_assort = stats::AttributeAssortativity(g);
-  return s;
-}
+constexpr uint32_t kPathSamples = 48;
 
 void PrintRow(const char* dataset, const char* which,
-              const ExtendedStats& s) {
+              const eval::StructuralProfile& s) {
   std::printf("%-10s %-14s %10.3f %10.3f %+10.4f %+10.4f\n", dataset, which,
-              s.avg_path, s.eff_diameter, s.degree_assort, s.attr_assort);
+              s.avg_path_length, s.effective_diameter, s.degree_assortativity,
+              s.attribute_assortativity);
 }
 
 }  // namespace
@@ -58,22 +44,23 @@ int main(int argc, char** argv) {
     graph::AttributedGraph input = bench::LoadDataset(id, flags);
     const char* name = datasets::PaperSpec(id).name.c_str();
     util::Rng rng(flags.GetInt("seed", 14) + static_cast<int>(id));
-    PrintRow(name, "input", Measure(input, rng));
+    PrintRow(name, "input", eval::ProfileGraph(input, kPathSamples, rng));
 
     for (bool tricycle : {true, false}) {
       pipeline::PipelineConfig options;
       options.epsilon = eps;
       options.model = tricycle ? "tricycle" : "fcl";
       options.sample.acceptance_iterations = 2;
-      ExtendedStats mean;
+      eval::StructuralProfile mean;
       for (int t = 0; t < trials; ++t) {
         auto result = pipeline::RunPrivateRelease(input, options, rng);
         AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-        ExtendedStats s = Measure(result.value().graph, rng);
-        mean.avg_path += s.avg_path / trials;
-        mean.eff_diameter += s.eff_diameter / trials;
-        mean.degree_assort += s.degree_assort / trials;
-        mean.attr_assort += s.attr_assort / trials;
+        const eval::StructuralProfile s =
+            eval::ProfileGraph(result.value().graph, kPathSamples, rng);
+        mean.avg_path_length += s.avg_path_length / trials;
+        mean.effective_diameter += s.effective_diameter / trials;
+        mean.degree_assortativity += s.degree_assortativity / trials;
+        mean.attribute_assortativity += s.attribute_assortativity / trials;
       }
       PrintRow(name, tricycle ? "AGMDP-TriCL" : "AGMDP-FCL", mean);
     }

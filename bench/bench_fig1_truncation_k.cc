@@ -11,7 +11,7 @@
 #include "bench/bench_util.h"
 #include "src/agm/theta_f.h"
 #include "src/dp/edge_truncation.h"
-#include "src/stats/metrics.h"
+#include "src/eval/utility_report.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -23,8 +23,9 @@ double MaeAtK(const graph::AttributedGraph& g,
               int trials, util::Rng& rng) {
   double total = 0.0;
   for (int t = 0; t < trials; ++t) {
-    total += stats::MeanAbsoluteError(agm::LearnCorrelationsDp(g, eps, k, rng),
-                                      exact);
+    total +=
+        eval::CompareThetaF(agm::LearnCorrelationsDp(g, eps, k, rng), exact)
+            .mae;
   }
   return total / trials;
 }

@@ -8,30 +8,22 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/eval/utility_report.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
 #include "src/models/bter.h"
 #include "src/models/chung_lu.h"
 #include "src/models/tcl.h"
 #include "src/models/tricycle.h"
-#include "src/stats/ccdf.h"
 #include "src/util/rng.h"
 
 namespace {
 
 using namespace agmdp;
 
-std::vector<double> DegreesAsDoubles(const graph::Graph& g) {
-  std::vector<double> out;
-  out.reserve(g.num_nodes());
-  for (uint32_t d : graph::DegreeSequence(g)) out.push_back(d);
-  return out;
-}
-
 void PrintSeries(const char* dataset, const char* model,
-                 const std::vector<double>& values, size_t points) {
-  auto series = stats::DownsampleCcdf(stats::Ccdf(values), points);
-  for (const auto& [x, y] : series) {
+                 const graph::Graph& g, size_t points) {
+  for (const auto& [x, y] : eval::DegreeCcdfSeries(g, points)) {
     std::printf("%s %s %.0f %.6f\n", dataset, model, x, y);
   }
 }
@@ -52,26 +44,25 @@ int main(int argc, char** argv) {
         graph::DegreeSequence(g.structure());
     const uint64_t triangles = graph::CountTriangles(g.structure());
 
-    PrintSeries(name, "original", DegreesAsDoubles(g.structure()), points);
+    PrintSeries(name, "original", g.structure(), points);
 
     auto fcl = models::FastChungLu(degrees, rng);
     AGMDP_CHECK(fcl.ok());
-    PrintSeries(name, "FCL", DegreesAsDoubles(fcl.value()), points);
+    PrintSeries(name, "FCL", fcl.value(), points);
 
     const double rho = models::FitTclRho(g.structure(), rng);
     auto tcl = models::GenerateTcl(degrees, rho, rng);
     AGMDP_CHECK(tcl.ok());
-    PrintSeries(name, "TCL", DegreesAsDoubles(tcl.value()), points);
+    PrintSeries(name, "TCL", tcl.value(), points);
 
     auto tricycle = models::GenerateTriCycLe(degrees, triangles, rng);
     AGMDP_CHECK(tricycle.ok());
-    PrintSeries(name, "TriCycLe", DegreesAsDoubles(tricycle.value().graph),
-                points);
+    PrintSeries(name, "TriCycLe", tricycle.value().graph, points);
 
     // BTER (Section 3.3's other candidate; non-private comparison only).
     auto bter = models::GenerateBter(models::FitBter(g.structure()), rng);
     AGMDP_CHECK(bter.ok());
-    PrintSeries(name, "BTER", DegreesAsDoubles(bter.value()), points);
+    PrintSeries(name, "BTER", bter.value(), points);
   }
   return 0;
 }

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "src/eval/utility_report.h"
 #include "src/graph/clustering.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
@@ -15,7 +16,6 @@
 #include "src/models/chung_lu.h"
 #include "src/models/tcl.h"
 #include "src/models/tricycle.h"
-#include "src/stats/ccdf.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -24,11 +24,9 @@ using namespace agmdp;
 
 void PrintSeries(const char* dataset, const char* model,
                  const graph::Graph& g, size_t points) {
-  auto series = stats::DownsampleCcdf(
-      stats::Ccdf(graph::LocalClusteringCoefficients(g)), points);
-  double avg = graph::AverageLocalClustering(g);
-  std::printf("# %s %s avg_local_cc=%.4f\n", dataset, model, avg);
-  for (const auto& [x, y] : series) {
+  std::printf("# %s %s avg_local_cc=%.4f\n", dataset, model,
+              graph::AverageLocalClustering(g));
+  for (const auto& [x, y] : eval::ClusteringCcdfSeries(g, points)) {
     std::printf("%s %s %.5f %.6f\n", dataset, model, x, y);
   }
 }

@@ -15,7 +15,7 @@
 #include "bench/bench_util.h"
 #include "src/agm/theta_f.h"
 #include "src/dp/edge_truncation.h"
-#include "src/stats/metrics.h"
+#include "src/eval/utility_report.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -27,7 +27,7 @@ double MeanMae(const std::vector<double>& exact, int trials, util::Rng& rng,
                LearnFn&& learn) {
   double total = 0.0;
   for (int t = 0; t < trials; ++t) {
-    total += stats::MeanAbsoluteError(learn(rng), exact);
+    total += eval::CompareThetaF(learn(rng), exact).mae;
   }
   return total / trials;
 }

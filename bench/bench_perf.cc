@@ -25,6 +25,7 @@
 #include "src/models/chung_lu.h"
 #include "src/models/tricycle.h"
 #include "src/pipeline/release_pipeline.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -52,35 +53,6 @@ bool SameGraph(const graph::AttributedGraph& a,
          a.structure().CanonicalEdges() == b.structure().CanonicalEdges();
 }
 
-struct JsonWriter {
-  std::string out = "{\n";
-  bool first = true;
-
-  void Raw(const std::string& key, const std::string& value) {
-    if (!first) out += ",\n";
-    first = false;
-    out += "  \"" + key + "\": " + value;
-  }
-  void Num(const std::string& key, double value);
-  void Str(const std::string& key, const std::string& value) {
-    Raw(key, "\"" + value + "\"");
-  }
-  void Bool(const std::string& key, bool value) {
-    Raw(key, value ? "true" : "false");
-  }
-  std::string Finish() { return out + "\n}\n"; }
-};
-
-std::string JsonNum(double value) {
-  char buffer[64];
-  std::snprintf(buffer, sizeof(buffer), "%.6g", value);
-  return buffer;
-}
-
-void JsonWriter::Num(const std::string& key, double value) {
-  Raw(key, JsonNum(value));
-}
-
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -93,17 +65,17 @@ int main(int argc, char** argv) {
   const std::vector<uint32_t> degrees = graph::DegreeSequence(input.structure());
   const uint64_t triangles = graph::CountTriangles(input.structure());
 
-  JsonWriter json;
-  json.Str("dataset", datasets::PaperSpec(id).name);
-  json.Num("scale", bench::ScaleFor(id, flags));
-  json.Num("n", input.num_nodes());
-  json.Num("m", static_cast<double>(input.num_edges()));
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("dataset").Value(datasets::PaperSpec(id).name);
+  json.Key("scale").Value(bench::ScaleFor(id, flags));
+  json.Key("n").Value(static_cast<uint64_t>(input.num_nodes()));
+  json.Key("m").Value(input.num_edges());
 
   // ------------------------------------------------------------ components
-  std::string components;
+  json.Key("components_seconds").BeginObject();
   auto component = [&](const std::string& name, double seconds) {
-    if (!components.empty()) components += ", ";
-    components += "\"" + name + "\": " + JsonNum(seconds);
+    json.Key(name).Value(seconds);
     std::printf("%-28s %10.3f ms\n", name.c_str(), 1e3 * seconds);
   };
   component("edge_truncation_k17", TimeBest(trials, [&] {
@@ -142,7 +114,7 @@ int main(int argc, char** argv) {
       models::GenerateTriCycLe(degrees, triangles, rng).value();
     }));
   }
-  json.Raw("components_seconds", "{" + components + "}");
+  json.EndObject();
 
   // ------------------------------------- pipeline end-to-end stage timings
   {
@@ -152,17 +124,16 @@ int main(int argc, char** argv) {
     util::Rng rng(5);
     auto release = pipeline::RunPrivateRelease(input, config, rng);
     AGMDP_CHECK_MSG(release.ok(), release.status().ToString().c_str());
-    std::string stages;
+    json.Key("pipeline_model").Value(config.model);
+    json.Key("pipeline_epsilon").Value(config.epsilon);
+    json.Key("pipeline_stages_seconds").BeginObject();
     for (const auto& stage : release.value().stage_seconds) {
-      if (!stages.empty()) stages += ", ";
-      stages += "\"" + stage.stage + "\": " + JsonNum(stage.seconds);
+      json.Key(stage.stage).Value(stage.seconds);
       std::printf("pipeline stage %-13s %10.3f ms\n", stage.stage.c_str(),
                   1e3 * stage.seconds);
     }
-    json.Str("pipeline_model", config.model);
-    json.Num("pipeline_epsilon", config.epsilon);
-    json.Raw("pipeline_stages_seconds", "{" + stages + "}");
-    json.Num("pipeline_total_seconds", release.value().total_seconds);
+    json.EndObject();
+    json.Key("pipeline_total_seconds").Value(release.value().total_seconds);
   }
 
   // -------------------------------------------------- sampler thread sweep
@@ -171,10 +142,10 @@ int main(int argc, char** argv) {
   // wall-clock ratio is the parallel speedup of the hot path.
   {
     const agm::AgmParams params = agm::LearnAgmParams(input);
-    std::string sweep;
     bool deterministic = true;
     double seconds_1t = 0.0, seconds_4t = 0.0;
     graph::AttributedGraph reference;
+    json.Key("sampler_threads_seconds").BeginObject();
     for (int threads : {1, 2, 4}) {
       pipeline::PipelineConfig config;
       config.model = "fcl";
@@ -194,15 +165,14 @@ int main(int argc, char** argv) {
         deterministic = deterministic && SameGraph(reference, sampled);
       }
       if (threads == 4) seconds_4t = seconds;
-      if (!sweep.empty()) sweep += ", ";
-      sweep += "\"" + std::to_string(threads) + "\": " + JsonNum(seconds);
+      json.Key(std::to_string(threads)).Value(seconds);
       std::printf("sampler threads=%d            %10.3f ms\n", threads,
                   1e3 * seconds);
     }
-    json.Raw("sampler_threads_seconds", "{" + sweep + "}");
-    json.Num("sampler_speedup_4t", seconds_4t > 0.0 ? seconds_1t / seconds_4t
-                                                    : 0.0);
-    json.Bool("sampler_deterministic_1_2_4", deterministic);
+    json.EndObject();
+    json.Key("sampler_speedup_4t")
+        .Value(seconds_4t > 0.0 ? seconds_1t / seconds_4t : 0.0);
+    json.Key("sampler_deterministic_1_2_4").Value(deterministic);
     std::printf("sampler 4-thread speedup      %10.2fx (deterministic: %s)\n",
                 seconds_4t > 0.0 ? seconds_1t / seconds_4t : 0.0,
                 deterministic ? "yes" : "NO");
@@ -210,6 +180,7 @@ int main(int argc, char** argv) {
                     "sampler output differs across thread counts");
   }
 
+  json.EndObject();
   FILE* f = std::fopen(out_path.c_str(), "w");
   AGMDP_CHECK_MSG(f != nullptr, "cannot open output file");
   const std::string body = json.Finish();

@@ -2,16 +2,17 @@
 
 #include <cmath>
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "src/agm/agm_dp.h"
 #include "src/agm/theta_f.h"
-#include "src/graph/degree.h"
+#include "src/eval/aggregate.h"
+#include "src/eval/sweep_engine.h"
+#include "src/eval/utility_report.h"
 #include "src/pipeline/release_pipeline.h"
-#include "src/stats/metrics.h"
-#include "src/stats/summary.h"
 #include "src/util/rng.h"
 
 namespace agmdp::bench {
@@ -24,13 +25,20 @@ void PrintHeader() {
               "m");
 }
 
+// One table row from the aggregated per-cell metrics (works for both the
+// sweep cells and the manually accumulated non-private reference rows).
 void PrintRow(const std::string& eps_label, const std::string& model,
-              const stats::UtilityErrors& e) {
+              const std::vector<eval::MetricStats>& metrics) {
   std::printf("%-8s %-14s %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f %8.4f\n",
-              eps_label.c_str(), model.c_str(), e.theta_f_mae,
-              e.theta_f_hellinger, e.degree_ks, e.degree_hellinger,
-              e.triangles_re, e.avg_clustering_re, e.global_clustering_re,
-              e.edges_re);
+              eps_label.c_str(), model.c_str(),
+              eval::MetricMean(metrics, "theta_f_mae"),
+              eval::MetricMean(metrics, "theta_f_hellinger"),
+              eval::MetricMean(metrics, "degree_ks"),
+              eval::MetricMean(metrics, "degree_hellinger"),
+              eval::MetricMean(metrics, "triangles_re"),
+              eval::MetricMean(metrics, "avg_clustering_re"),
+              eval::MetricMean(metrics, "global_clustering_re"),
+              eval::MetricMean(metrics, "edges_re"));
 }
 
 std::string EpsLabel(double eps) {
@@ -59,6 +67,33 @@ std::vector<std::string> TableModels(const util::Flags& flags) {
   return models;
 }
 
+// Section 5.2's text baselines, routed through the eval metric suite:
+// a uniform ΘF vector and a uniform-random edge assignment with the
+// original attributes.
+void PrintBaselines(const graph::AttributedGraph& input,
+                    const eval::ReferenceProfile& reference,
+                    const util::Flags& flags) {
+  std::vector<double> uniform(
+      graph::NumEdgeConfigs(input.num_attributes()),
+      1.0 / graph::NumEdgeConfigs(input.num_attributes()));
+  const eval::ThetaFError uniform_error =
+      eval::CompareThetaF(uniform, reference.theta_f);
+  std::printf("# baseline uniform-ThetaF: MAE=%.4f Hellinger=%.4f\n",
+              uniform_error.mae, uniform_error.hellinger);
+
+  util::Rng rng(flags.GetInt("seed", 4));
+  graph::AttributedGraph random(input.num_nodes(), input.num_attributes());
+  AGMDP_CHECK(random.SetAttributes(input.attributes()).ok());
+  while (random.num_edges() < input.num_edges()) {
+    auto u = static_cast<graph::NodeId>(rng.UniformIndex(input.num_nodes()));
+    auto v = static_cast<graph::NodeId>(rng.UniformIndex(input.num_nodes()));
+    random.structure().AddEdge(u, v);
+  }
+  const eval::UtilityReport report = eval::EvaluateRelease(reference, random);
+  std::printf("# baseline uniform-edges: KS=%.4f Hellinger=%.4f\n",
+              report.errors.degree_ks, report.errors.degree_hellinger);
+}
+
 }  // namespace
 
 int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
@@ -74,66 +109,62 @@ int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
               spec.name.c_str(), trials);
   graph::AttributedGraph input = LoadDataset(id, flags);
 
-  // Text baselines from Section 5.2: uniform correlations and uniform edge
-  // assignment.
-  {
-    std::vector<double> uniform(
-        graph::NumEdgeConfigs(input.num_attributes()),
-        1.0 / graph::NumEdgeConfigs(input.num_attributes()));
-    const std::vector<double> theta_f = agm::ComputeThetaF(input);
-    std::printf("# baseline uniform-ThetaF: MAE=%.4f Hellinger=%.4f\n",
-                stats::MeanAbsoluteError(uniform, theta_f),
-                stats::HellingerDistance(uniform, theta_f));
-    util::Rng rng(flags.GetInt("seed", 4));
-    graph::Graph random(input.num_nodes());
-    while (random.num_edges() < input.num_edges()) {
-      auto u = static_cast<graph::NodeId>(rng.UniformIndex(input.num_nodes()));
-      auto v = static_cast<graph::NodeId>(rng.UniformIndex(input.num_nodes()));
-      random.AddEdge(u, v);
-    }
-    std::printf("# baseline uniform-edges: KS=%.4f Hellinger=%.4f\n",
-                stats::KsStatistic(graph::SortedDegreeSequence(random),
-                                   graph::SortedDegreeSequence(
-                                       input.structure())),
-                stats::DegreeHellinger(random, input.structure()));
-  }
+  // One profile of the original serves the baselines, the non-private
+  // reference rows and — handed to RunSweep via SweepInput::reference —
+  // every private cell.
+  const auto reference_ptr = std::make_shared<const eval::ReferenceProfile>(
+      eval::ProfileReference(input));
+  const eval::ReferenceProfile& reference = *reference_ptr;
+  PrintBaselines(input, reference, flags);
 
   PrintHeader();
   PrintRule();
 
-  util::Rng rng(flags.GetInt("seed", 5) + 17 * static_cast<int>(id));
-
   // Non-private reference rows (AGM-FCL / AGM-TriCL).
+  util::Rng rng(flags.GetInt("seed", 5) + 17 * static_cast<int>(id));
   for (bool tricycle : {false, true}) {
     agm::AgmSampleOptions options;
     options.model = tricycle ? agm::StructuralModelKind::kTriCycLe
                              : agm::StructuralModelKind::kFcl;
     options.acceptance_iterations = iters;
     options.threads = threads;
-    stats::UtilityErrors sum;
+    eval::ReportAccumulator accumulator;
     for (int t = 0; t < trials; ++t) {
       auto synthetic = agm::SynthesizeAgmNonPrivate(input, options, rng);
       AGMDP_CHECK_MSG(synthetic.ok(), synthetic.status().ToString().c_str());
-      sum += stats::CompareGraphs(input, synthetic.value());
+      accumulator.Add(eval::EvaluateRelease(reference, synthetic.value()));
     }
-    PrintRow("nonpriv", tricycle ? "AGM-TriCL" : "AGM-FCL", sum / trials);
+    PrintRow("nonpriv", tricycle ? "AGM-TriCL" : "AGM-FCL",
+             accumulator.Stats());
   }
 
-  // Private rows: one fully accounted pipeline release per cell.
+  // Private rows: the whole epsilon × model grid is one sweep — every cell
+  // a fully accounted pipeline release on a deterministic substream.
+  eval::SweepSpec sweep;
+  sweep.models = models;
+  sweep.epsilons = epsilons;
+  sweep.repeats = trials;
+  sweep.seed = static_cast<uint64_t>(flags.GetInt("seed", 5)) +
+               17 * static_cast<uint64_t>(id);
+  sweep.threads = static_cast<int>(flags.GetInt("sweep_threads", 1));
+  sweep.sampler_threads = threads;
+  sweep.acceptance_iterations = iters;
+
+  std::vector<eval::SweepInput> inputs;
+  inputs.push_back(
+      eval::SweepInput{spec.name, std::move(input), reference_ptr});
+  auto result = eval::RunSweep(inputs, sweep);
+  AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
+
+  // The sweep iterates models then epsilons; the table prints epsilons
+  // outermost, so look cells up by (model, epsilon).
   for (double eps : epsilons) {
     for (const std::string& model : models) {
-      pipeline::PipelineConfig config;
-      config.epsilon = eps;
-      config.model = model;
-      config.sample.acceptance_iterations = iters;
-      config.sample.threads = threads;
-      stats::UtilityErrors sum;
-      for (int t = 0; t < trials; ++t) {
-        auto result = pipeline::RunPrivateRelease(input, config, rng);
-        AGMDP_CHECK_MSG(result.ok(), result.status().ToString().c_str());
-        sum += stats::CompareGraphs(input, result.value().graph);
+      for (const eval::SweepCell& cell : result.value().cells) {
+        if (cell.model != model || cell.epsilon != eps) continue;
+        AGMDP_CHECK_MSG(cell.error.empty(), cell.error.c_str());
+        PrintRow(EpsLabel(eps), "AGMDP-" + model, cell.metrics);
       }
-      PrintRow(EpsLabel(eps), "AGMDP-" + model, sum / trials);
     }
   }
   return 0;

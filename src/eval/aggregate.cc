@@ -1,0 +1,57 @@
+#include "src/eval/aggregate.h"
+
+#include <cmath>
+
+#include "src/util/check.h"
+
+namespace agmdp::eval {
+
+void ReportAccumulator::Add(const UtilityReport& report) {
+  const std::vector<std::pair<std::string, double>> flat = report.Flatten();
+  if (count_ == 0) {
+    cells_.reserve(flat.size());
+    for (const auto& [name, value] : flat) {
+      (void)value;
+      cells_.push_back(Cell{name, 0.0, 0.0});
+    }
+  }
+  AGMDP_CHECK_MSG(flat.size() == cells_.size(),
+                  "reports with mismatched metric sets in one accumulator");
+  ++count_;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    AGMDP_CHECK(flat[i].first == cells_[i].name);
+    const double delta = flat[i].second - cells_[i].mean;
+    cells_[i].mean += delta / count_;
+    cells_[i].m2 += delta * (flat[i].second - cells_[i].mean);
+  }
+}
+
+std::vector<MetricStats> ReportAccumulator::Stats() const {
+  std::vector<MetricStats> out;
+  out.reserve(cells_.size());
+  for (const Cell& cell : cells_) {
+    MetricStats s;
+    s.name = cell.name;
+    s.mean = cell.mean;
+    s.stddev = count_ > 1 ? std::sqrt(cell.m2 / (count_ - 1)) : 0.0;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+double ReportAccumulator::Mean(const std::string& name) const {
+  for (const Cell& cell : cells_) {
+    if (cell.name == name) return cell.mean;
+  }
+  return 0.0;
+}
+
+double MetricMean(const std::vector<MetricStats>& stats,
+                  const std::string& name) {
+  for (const MetricStats& s : stats) {
+    if (s.name == name) return s.mean;
+  }
+  return 0.0;
+}
+
+}  // namespace agmdp::eval

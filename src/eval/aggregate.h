@@ -1,0 +1,54 @@
+// Mean / standard deviation aggregation of UtilityReports over repeated
+// trials — the per-cell statistics of the sweep engine, also usable
+// directly by benches that average a handful of releases.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "src/eval/utility_report.h"
+
+namespace agmdp::eval {
+
+/// Aggregated statistics of one metric over the repeats of a cell.
+struct MetricStats {
+  std::string name;
+  double mean = 0.0;
+  /// Sample standard deviation (n-1 denominator); 0 for fewer than two
+  /// repeats.
+  double stddev = 0.0;
+};
+
+/// \brief Accumulates flattened UtilityReports (Welford's online algorithm,
+/// numerically stable for long repeat runs).
+///
+/// All reports added to one accumulator must flatten to the same metric
+/// list (guaranteed when they compare graphs of equal attribute dimension).
+class ReportAccumulator {
+ public:
+  void Add(const UtilityReport& report);
+
+  int count() const { return count_; }
+
+  /// Per-metric mean/stddev, in Flatten() order. Empty before the first Add.
+  std::vector<MetricStats> Stats() const;
+
+  /// Mean of one metric by name (0 if absent) — convenience for table rows.
+  double Mean(const std::string& name) const;
+
+ private:
+  struct Cell {
+    std::string name;
+    double mean = 0.0;
+    double m2 = 0.0;  // sum of squared deviations from the running mean
+  };
+
+  int count_ = 0;
+  std::vector<Cell> cells_;
+};
+
+/// Mean of the named metric in `stats` (0 if absent).
+double MetricMean(const std::vector<MetricStats>& stats,
+                  const std::string& name);
+
+}  // namespace agmdp::eval

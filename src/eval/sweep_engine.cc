@@ -1,0 +1,242 @@
+#include "src/eval/sweep_engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "src/datasets/datasets.h"
+#include "src/pipeline/release_pipeline.h"
+#include "src/util/json.h"
+#include "src/util/rng.h"
+
+namespace agmdp::eval {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+util::Status ValidateSpec(const std::vector<SweepInput>& inputs,
+                          const SweepSpec& spec) {
+  if (inputs.empty()) {
+    return util::Status::InvalidArgument("sweep needs at least one input");
+  }
+  if (spec.models.empty()) {
+    return util::Status::InvalidArgument("sweep needs at least one model");
+  }
+  for (const std::string& model : spec.models) {
+    if (pipeline::FindStructuralModel(model) == nullptr) {
+      return util::Status::InvalidArgument(
+          "unknown model '" + model +
+          "'; registered: " + pipeline::StructuralModelNameList());
+    }
+  }
+  if (spec.epsilons.empty()) {
+    return util::Status::InvalidArgument("sweep needs at least one epsilon");
+  }
+  for (double eps : spec.epsilons) {
+    if (!(eps > 0.0)) {
+      return util::Status::InvalidArgument("epsilon must be positive");
+    }
+  }
+  if (spec.repeats < 1) {
+    return util::Status::InvalidArgument("repeats must be >= 1");
+  }
+  return util::Status::OK();
+}
+
+// Runs all repeats of one cell sequentially (ascending repeat index, so the
+// aggregation order — and therefore the floating-point result — does not
+// depend on scheduling). The original-side statistics arrive precomputed in
+// `reference` — they are shared by every cell of the same input.
+void RunCell(const SweepInput& input, const ReferenceProfile& reference,
+             const SweepSpec& spec, uint64_t cell_index, SweepCell* cell) {
+  pipeline::PipelineConfig config;
+  config.epsilon = cell->epsilon;
+  config.model = cell->model;
+  config.split = spec.split;
+  config.sample.threads = spec.sampler_threads;
+  config.sample.acceptance_iterations = spec.acceptance_iterations;
+
+  ReportAccumulator accumulator;
+  double seconds_sum = 0.0;
+  double spent_sum = 0.0;
+  for (int r = 0; r < spec.repeats; ++r) {
+    util::Rng rng = util::Rng::Substream(
+        spec.seed, cell_index * static_cast<uint64_t>(spec.repeats) +
+                       static_cast<uint64_t>(r));
+    const Clock::time_point start = Clock::now();
+    auto result = pipeline::RunPrivateRelease(input.graph, config, rng);
+    seconds_sum +=
+        std::chrono::duration<double>(Clock::now() - start).count();
+    if (!result.ok()) {
+      cell->error = result.status().ToString();
+      cell->metrics.clear();
+      return;
+    }
+    spent_sum += result.value().epsilon_spent;
+    accumulator.Add(EvaluateRelease(reference, result.value().graph));
+  }
+  cell->metrics = accumulator.Stats();
+  cell->epsilon_spent = spent_sum / spec.repeats;
+  cell->seconds_mean = seconds_sum / spec.repeats;
+}
+
+}  // namespace
+
+util::Result<SweepResult> RunSweep(const std::vector<SweepInput>& inputs,
+                                   const SweepSpec& spec) {
+  if (auto st = ValidateSpec(inputs, spec); !st.ok()) return st;
+  const Clock::time_point start = Clock::now();
+
+  SweepResult result;
+  result.spec = spec;
+  for (const SweepInput& input : inputs) {
+    result.input_names.push_back(input.name);
+  }
+
+  // Profile each input once; every cell of that input reuses the profile
+  // (the original-side statistics are the expensive half of evaluation).
+  // Inputs that arrive with a caller-precomputed profile are not
+  // re-profiled.
+  std::vector<ReferenceProfile> owned_references;
+  owned_references.reserve(inputs.size());
+  std::vector<const ReferenceProfile*> references;
+  references.reserve(inputs.size());
+  for (const SweepInput& input : inputs) {
+    if (input.reference != nullptr) {
+      references.push_back(input.reference.get());
+    } else {
+      owned_references.push_back(ProfileReference(input.graph));
+      references.push_back(&owned_references.back());
+    }
+  }
+
+  // Lay out the grid (datasets, models, epsilons) up front; cell index ==
+  // position in this vector, which fixes the RNG substream family and the
+  // output order independent of scheduling.
+  std::vector<const SweepInput*> cell_inputs;
+  std::vector<const ReferenceProfile*> cell_references;
+  for (size_t i = 0; i < inputs.size(); ++i) {
+    for (const std::string& model : spec.models) {
+      for (double eps : spec.epsilons) {
+        SweepCell cell;
+        cell.dataset = inputs[i].name;
+        cell.model = model;
+        cell.epsilon = eps;
+        cell.repeats = spec.repeats;
+        result.cells.push_back(std::move(cell));
+        cell_inputs.push_back(&inputs[i]);
+        cell_references.push_back(references[i]);
+      }
+    }
+  }
+
+  unsigned workers = spec.threads > 0
+                         ? static_cast<unsigned>(spec.threads)
+                         : std::max(1u, std::thread::hardware_concurrency());
+  workers = std::min<unsigned>(
+      workers, static_cast<unsigned>(result.cells.size()));
+
+  if (workers <= 1) {
+    for (size_t c = 0; c < result.cells.size(); ++c) {
+      RunCell(*cell_inputs[c], *cell_references[c], spec, c,
+              &result.cells[c]);
+    }
+  } else {
+    std::atomic<size_t> next{0};
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (unsigned t = 0; t < workers; ++t) {
+      pool.emplace_back([&] {
+        for (size_t c = next.fetch_add(1); c < result.cells.size();
+             c = next.fetch_add(1)) {
+          RunCell(*cell_inputs[c], *cell_references[c], spec, c,
+                  &result.cells[c]);
+        }
+      });
+    }
+    for (std::thread& worker : pool) worker.join();
+  }
+
+  result.total_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec) {
+  if (spec.datasets.empty()) {
+    return util::Status::InvalidArgument("sweep needs at least one dataset");
+  }
+  std::vector<SweepInput> inputs;
+  for (const std::string& name : spec.datasets) {
+    bool found = false;
+    for (datasets::DatasetId id : datasets::AllDatasets()) {
+      if (datasets::PaperSpec(id).name != name) continue;
+      auto g = datasets::GenerateDataset(id, spec.dataset_scale, spec.seed);
+      if (!g.ok()) return g.status();
+      inputs.push_back(SweepInput{name, std::move(g).value()});
+      found = true;
+      break;
+    }
+    if (!found) {
+      return util::Status::InvalidArgument("unknown dataset: " + name);
+    }
+  }
+  return RunSweep(inputs, spec);
+}
+
+std::string SweepResultToJson(const SweepResult& result,
+                              bool include_timing) {
+  util::JsonWriter json;
+  json.BeginObject();
+  json.Key("schema").Value("agmdp.sweep.v1");
+  json.Key("seed").Value(result.spec.seed);
+  json.Key("repeats").Value(result.spec.repeats);
+  json.Key("dataset_scale").Value(result.spec.dataset_scale);
+  json.Key("sampler_threads").Value(result.spec.sampler_threads);
+  json.Key("acceptance_iterations").Value(result.spec.acceptance_iterations);
+  json.Key("datasets").BeginArray();
+  for (const std::string& name : result.input_names) json.Value(name);
+  json.EndArray();
+  json.Key("models").BeginArray();
+  for (const std::string& model : result.spec.models) json.Value(model);
+  json.EndArray();
+  json.Key("epsilons").BeginArray();
+  for (double eps : result.spec.epsilons) json.Value(eps);
+  json.EndArray();
+  if (include_timing) {
+    json.Key("total_seconds").Value(result.total_seconds);
+  }
+  json.Key("cells").BeginArray();
+  for (const SweepCell& cell : result.cells) {
+    json.BeginObject();
+    json.Key("dataset").Value(cell.dataset);
+    json.Key("model").Value(cell.model);
+    json.Key("epsilon").Value(cell.epsilon);
+    json.Key("repeats").Value(cell.repeats);
+    if (!cell.error.empty()) {
+      json.Key("error").Value(cell.error);
+      json.EndObject();
+      continue;
+    }
+    json.Key("epsilon_spent").Value(cell.epsilon_spent);
+    if (include_timing) {
+      json.Key("seconds_mean").Value(cell.seconds_mean);
+    }
+    json.Key("metrics").BeginObject();
+    for (const MetricStats& metric : cell.metrics) {
+      json.Key(metric.name).BeginObject();
+      json.Key("mean").Value(metric.mean);
+      json.Key("stddev").Value(metric.stddev);
+      json.EndObject();
+    }
+    json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.Finish();
+}
+
+}  // namespace agmdp::eval

@@ -1,0 +1,111 @@
+// Multi-scenario sweep engine: runs the private release pipeline over a
+// (dataset × model × epsilon) grid with repeated trials per cell, evaluates
+// every release with EvaluateRelease, and aggregates per-cell mean/stddev
+// for every metric — the machinery behind the paper's Tables 2-5 /
+// Figures 1-5 experiment grids and the `agmdp sweep` subcommand.
+//
+// Determinism contract: cell (index c, repeat r) draws exclusively from
+// util::Rng::Substream(spec.seed, c * spec.repeats + r), a pure function of
+// the spec — so results are bitwise-identical regardless of how cells are
+// scheduled onto worker threads, and SweepResultToJson(..., false) is
+// byte-identical across runs with the same spec and inputs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/dp/privacy_budget.h"
+#include "src/eval/aggregate.h"
+#include "src/graph/attributed_graph.h"
+#include "src/pipeline/pipeline_config.h"
+#include "src/util/status.h"
+
+namespace agmdp::eval {
+
+/// \brief One scenario grid: the cross product of datasets, models and
+/// epsilons, with `repeats` fully accounted releases per cell.
+struct SweepSpec {
+  /// Dataset stand-ins to generate (names from datasets::PaperSpec). Used
+  /// by RunSweepOnDatasets; RunSweep takes explicit inputs instead.
+  std::vector<std::string> datasets;
+  /// Node-count scale for the generated stand-ins (1.0 = paper size).
+  double dataset_scale = 0.1;
+
+  /// Structural models by registry name.
+  std::vector<std::string> models = {"fcl", "tricycle"};
+  /// Global epsilon per release.
+  std::vector<double> epsilons = {0.6931471805599453};
+  /// Releases per cell (>= 1).
+  int repeats = 3;
+
+  /// Base seed of the per-cell substream family (and of dataset generation).
+  uint64_t seed = 1;
+  /// Worker threads across cells; 0 = hardware concurrency.
+  int threads = 1;
+
+  /// Per-release sampler settings (forwarded to PipelineConfig).
+  int sampler_threads = 1;
+  int acceptance_iterations = 2;
+  /// Optional custom budget split; zero-total selects the model default.
+  dp::BudgetSplit split;
+};
+
+/// A named evaluation input.
+struct SweepInput {
+  std::string name;
+  graph::AttributedGraph graph;
+  /// Optional precomputed profile of `graph` (callers that already
+  /// profiled the original — e.g. the table harness — pass it here);
+  /// RunSweep profiles the graph itself when absent.
+  std::shared_ptr<const ReferenceProfile> reference;
+};
+
+/// \brief Aggregated result of one (dataset, model, epsilon) cell.
+struct SweepCell {
+  std::string dataset;
+  std::string model;
+  double epsilon = 0.0;
+  int repeats = 0;
+  /// Mean/stddev per metric, in UtilityReport::Flatten() order. Empty when
+  /// the cell failed.
+  std::vector<MetricStats> metrics;
+  /// Mean total epsilon actually spent (equals epsilon under default splits).
+  double epsilon_spent = 0.0;
+  /// Mean wall-clock seconds per release (a timing field).
+  double seconds_mean = 0.0;
+  /// Non-empty when the release pipeline failed for this cell; metrics are
+  /// then empty and the remaining repeats were skipped.
+  std::string error;
+};
+
+struct SweepResult {
+  /// The spec the sweep ran under (inputs recorded by name).
+  SweepSpec spec;
+  std::vector<std::string> input_names;
+  /// Cells in grid order: datasets outermost, then models, then epsilons.
+  std::vector<SweepCell> cells;
+  /// Wall-clock of the whole sweep (a timing field).
+  double total_seconds = 0.0;
+};
+
+/// Runs the sweep over explicit inputs. Fails fast on an invalid spec
+/// (empty grid axes, repeats < 1, unknown model, non-positive epsilon);
+/// per-cell pipeline failures are recorded in the cell, not fatal.
+util::Result<SweepResult> RunSweep(const std::vector<SweepInput>& inputs,
+                                   const SweepSpec& spec);
+
+/// Generates the stand-in datasets named in `spec.datasets` (at
+/// `spec.dataset_scale`, seeded from `spec.seed`) and runs the sweep over
+/// them. Fails on an unknown dataset name.
+util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec);
+
+/// Serializes a sweep result as the BENCH_sweep.json document (schema
+/// "agmdp.sweep.v1"; see DESIGN.md). With `include_timing` false the
+/// timing fields (total_seconds, per-cell seconds_mean) are omitted and the
+/// document is byte-identical across runs with the same spec and inputs.
+std::string SweepResultToJson(const SweepResult& result,
+                              bool include_timing = true);
+
+}  // namespace agmdp::eval

@@ -1,0 +1,175 @@
+#include "src/eval/utility_report.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/agm/theta_f.h"
+#include "src/graph/clustering.h"
+#include "src/graph/degree.h"
+#include "src/graph/paths.h"
+#include "src/graph/triangle_count.h"
+#include "src/stats/assortativity.h"
+#include "src/stats/ccdf.h"
+#include "src/stats/metrics.h"
+
+namespace agmdp::eval {
+
+namespace {
+
+std::vector<double> DegreesAsDoubles(const graph::Graph& g) {
+  std::vector<double> out;
+  out.reserve(g.num_nodes());
+  for (uint32_t d : graph::DegreeSequence(g)) {
+    out.push_back(static_cast<double>(d));
+  }
+  return out;
+}
+
+double MeanOf(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, double>> UtilityReport::Flatten() const {
+  std::vector<std::pair<std::string, double>> flat = {
+      {"theta_f_mae", errors.theta_f_mae},
+      {"theta_f_hellinger", errors.theta_f_hellinger},
+      {"degree_ks", errors.degree_ks},
+      {"degree_hellinger", errors.degree_hellinger},
+      {"degree_kl", degree_kl},
+      {"degree_ccdf_distance", degree_ccdf_distance},
+      {"clustering_ccdf_distance", clustering_ccdf_distance},
+      {"triangles_re", errors.triangles_re},
+      {"avg_clustering_re", errors.avg_clustering_re},
+      {"global_clustering_re", errors.global_clustering_re},
+      {"edges_re", errors.edges_re},
+      {"degree_assortativity_delta", degree_assortativity_delta},
+      {"attribute_assortativity_delta", attribute_assortativity_delta},
+  };
+  double abs_sum = 0.0;
+  for (size_t a = 0; a < homophily_delta.size(); ++a) {
+    flat.emplace_back("homophily_delta_a" + std::to_string(a),
+                      homophily_delta[a]);
+    abs_sum += std::fabs(homophily_delta[a]);
+  }
+  flat.emplace_back("homophily_delta_mean_abs",
+                    homophily_delta.empty()
+                        ? 0.0
+                        : abs_sum / static_cast<double>(
+                                        homophily_delta.size()));
+  return flat;
+}
+
+ReferenceProfile ProfileReference(const graph::AttributedGraph& original) {
+  ReferenceProfile ref;
+  const graph::Graph& g = original.structure();
+  ref.theta_f = agm::ComputeThetaF(original);
+  ref.sorted_degrees = graph::SortedDegreeSequence(g);
+  ref.degree_distribution = stats::DegreeDistribution(g);
+  ref.local_clustering = graph::LocalClusteringCoefficients(g);
+  ref.avg_clustering = MeanOf(ref.local_clustering);
+  ref.global_clustering = graph::GlobalClusteringCoefficient(g);
+  ref.triangles = static_cast<double>(graph::CountTriangles(g));
+  ref.edges = static_cast<double>(g.num_edges());
+  ref.degree_assortativity = stats::DegreeAssortativity(g);
+  ref.attribute_assortativity = stats::AttributeAssortativity(original);
+  ref.homophily = stats::PerAttributeHomophily(original);
+  return ref;
+}
+
+UtilityReport EvaluateRelease(const ReferenceProfile& original,
+                              const graph::AttributedGraph& released) {
+  UtilityReport report;
+  const graph::Graph& g1 = released.structure();
+
+  const ThetaFError theta =
+      CompareThetaF(agm::ComputeThetaF(released), original.theta_f);
+  report.errors.theta_f_mae = theta.mae;
+  report.errors.theta_f_hellinger = theta.hellinger;
+
+  report.errors.degree_ks = stats::KsStatistic(
+      graph::SortedDegreeSequence(g1), original.sorted_degrees);
+  const std::vector<double> dist1 = stats::DegreeDistribution(g1);
+  report.errors.degree_hellinger =
+      stats::HellingerDistance(dist1, original.degree_distribution);
+  report.degree_kl =
+      stats::KlDivergence(original.degree_distribution, dist1);
+  // sup |F1-F2| over degrees == sup |CCDF1-CCDF2|: reuse the KS statistic.
+  report.degree_ccdf_distance = report.errors.degree_ks;
+
+  const std::vector<double> cc1 = graph::LocalClusteringCoefficients(g1);
+  report.clustering_ccdf_distance =
+      stats::KsDistance(original.local_clustering, cc1);
+  report.errors.avg_clustering_re =
+      stats::RelativeError(MeanOf(cc1), original.avg_clustering);
+  report.errors.global_clustering_re = stats::RelativeError(
+      graph::GlobalClusteringCoefficient(g1), original.global_clustering);
+
+  report.errors.triangles_re = stats::RelativeError(
+      static_cast<double>(graph::CountTriangles(g1)), original.triangles);
+  report.errors.edges_re = stats::RelativeError(
+      static_cast<double>(g1.num_edges()), original.edges);
+
+  report.degree_assortativity_delta =
+      stats::DegreeAssortativity(g1) - original.degree_assortativity;
+  report.attribute_assortativity_delta =
+      stats::AttributeAssortativity(released) -
+      original.attribute_assortativity;
+
+  const std::vector<double> h1 = stats::PerAttributeHomophily(released);
+  const size_t w = std::min(original.homophily.size(), h1.size());
+  report.homophily_delta.resize(w);
+  for (size_t a = 0; a < w; ++a) {
+    report.homophily_delta[a] = h1[a] - original.homophily[a];
+  }
+  return report;
+}
+
+UtilityReport EvaluateRelease(const graph::AttributedGraph& original,
+                              const graph::AttributedGraph& released) {
+  return EvaluateRelease(ProfileReference(original), released);
+}
+
+ThetaFError CompareThetaF(std::vector<double> estimate,
+                          std::vector<double> exact) {
+  const size_t len = std::max(estimate.size(), exact.size());
+  estimate.resize(len, 0.0);
+  exact.resize(len, 0.0);
+  ThetaFError e;
+  e.mae = stats::MeanAbsoluteError(estimate, exact);
+  e.hellinger = stats::HellingerDistance(estimate, exact);
+  return e;
+}
+
+StructuralProfile ProfileGraph(const graph::AttributedGraph& g,
+                               uint32_t path_samples, util::Rng& rng) {
+  StructuralProfile profile;
+  if (path_samples > 0) {
+    const graph::PathStats paths =
+        graph::EstimatePathStats(g.structure(), path_samples, rng);
+    profile.avg_path_length = paths.avg_path_length;
+    profile.effective_diameter = paths.effective_diameter;
+    profile.diameter_lower_bound = paths.diameter_lower_bound;
+  }
+  profile.degree_assortativity = stats::DegreeAssortativity(g.structure());
+  profile.attribute_assortativity = stats::AttributeAssortativity(g);
+  profile.homophily = stats::PerAttributeHomophily(g);
+  return profile;
+}
+
+std::vector<std::pair<double, double>> DegreeCcdfSeries(const graph::Graph& g,
+                                                        size_t max_points) {
+  return stats::DownsampleCcdf(stats::Ccdf(DegreesAsDoubles(g)), max_points);
+}
+
+std::vector<std::pair<double, double>> ClusteringCcdfSeries(
+    const graph::Graph& g, size_t max_points) {
+  return stats::DownsampleCcdf(
+      stats::Ccdf(graph::LocalClusteringCoefficients(g)), max_points);
+}
+
+}  // namespace agmdp::eval

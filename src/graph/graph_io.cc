@@ -1,6 +1,8 @@
 #include "src/graph/graph_io.h"
 
+#include <cstdint>
 #include <fstream>
+#include <limits>
 #include <sstream>
 
 namespace agmdp::graph {
@@ -54,6 +56,10 @@ util::Result<Graph> ReadEdgeList(const std::string& path) {
       if (!(ss >> tag >> n) || tag != "n") {
         return util::Status::IoError("bad edge-list header in " + path);
       }
+      if (n > std::numeric_limits<NodeId>::max()) {
+        return util::Status::IoError("node count overflows NodeId in " +
+                                     path);
+      }
       g = Graph(static_cast<NodeId>(n));
       have_header = true;
       continue;
@@ -63,11 +69,18 @@ util::Result<Graph> ReadEdgeList(const std::string& path) {
       return util::Status::IoError("bad edge at " + path + ":" +
                                    std::to_string(line_no));
     }
-    if (u >= g.num_nodes() || v >= g.num_nodes() || u == v) {
+    if (u == v) {
+      return util::Status::IoError("self-loop at " + path + ":" +
+                                   std::to_string(line_no));
+    }
+    if (u >= g.num_nodes() || v >= g.num_nodes()) {
       return util::Status::IoError("edge out of range at " + path + ":" +
                                    std::to_string(line_no));
     }
-    g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    if (!g.AddEdge(static_cast<NodeId>(u), static_cast<NodeId>(v))) {
+      return util::Status::IoError("duplicate edge at " + path + ":" +
+                                   std::to_string(line_no));
+    }
   }
   if (!have_header) {
     return util::Status::IoError("missing edge-list header in " + path);
@@ -145,6 +158,13 @@ util::Result<AttributedGraph> ReadAttributedGraph(
   }
   if (n != edges.value().num_nodes()) {
     return util::Status::IoError("attribute/edge node count mismatch");
+  }
+  // Validate before constructing: the AttributedGraph constructor (and
+  // NumNodeConfigs below) treat an out-of-range w as a fatal invariant
+  // violation, but for file input it must surface as a Status error.
+  if (w < 0 || w > 20) {
+    return util::Status::IoError("attribute count out of range [0, 20]: " +
+                                 std::to_string(w));
   }
   AttributedGraph g(std::move(edges).value(), w);
   const AttrConfig limit = NumNodeConfigs(w);

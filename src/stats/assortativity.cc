@@ -51,4 +51,18 @@ double AttributeAssortativity(const graph::AttributedGraph& g) {
   return (trace - squared) / (1.0 - squared);
 }
 
+std::vector<double> PerAttributeHomophily(const graph::AttributedGraph& g) {
+  std::vector<double> same(static_cast<size_t>(g.num_attributes()), 0.0);
+  if (g.num_edges() == 0 || g.num_attributes() == 0) return same;
+  g.structure().ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    const graph::AttrConfig agree = ~(g.attribute(u) ^ g.attribute(v));
+    for (int a = 0; a < g.num_attributes(); ++a) {
+      if ((agree >> a) & 1u) same[static_cast<size_t>(a)] += 1.0;
+    }
+  });
+  const double m = static_cast<double>(g.num_edges());
+  for (double& x : same) x /= m;
+  return same;
+}
+
 }  // namespace agmdp::stats

@@ -5,6 +5,8 @@
 // correlations it never directly optimized.
 #pragma once
 
+#include <vector>
+
 #include "src/graph/attributed_graph.h"
 #include "src/graph/graph.h"
 
@@ -19,5 +21,10 @@ double DegreeAssortativity(const graph::Graph& g);
 /// matrix over edges. 1 = perfect homophily, 0 = no correlation, negative =
 /// heterophily. Returns 0 for edgeless graphs or single-category mixes.
 double AttributeAssortativity(const graph::AttributedGraph& g);
+
+/// Per-attribute homophily: for each of the w attribute bits, the fraction
+/// of edges whose endpoints agree on that bit. Length num_attributes();
+/// every entry is 0 for edgeless graphs.
+std::vector<double> PerAttributeHomophily(const graph::AttributedGraph& g);
 
 }  // namespace agmdp::stats

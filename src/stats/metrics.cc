@@ -61,6 +61,37 @@ double KsStatistic(std::vector<uint32_t> s1, std::vector<uint32_t> s2) {
   return ks;
 }
 
+double KsDistance(std::vector<double> a, std::vector<double> b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty() ? 0.0 : 1.0;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  size_t i = 0, j = 0;
+  double ks = 0.0;
+  while (i < a.size() && j < b.size()) {
+    const double x = std::min(a[i], b[j]);
+    while (i < a.size() && a[i] == x) ++i;
+    while (j < b.size() && b[j] == x) ++j;
+    ks = std::max(ks, std::fabs(static_cast<double>(i) / na -
+                                static_cast<double>(j) / nb));
+  }
+  return ks;
+}
+
+double KlDivergence(std::vector<double> p, std::vector<double> q,
+                    double floor) {
+  const size_t len = std::max(p.size(), q.size());
+  p.resize(len, 0.0);
+  q.resize(len, 0.0);
+  double kl = 0.0;
+  for (size_t i = 0; i < len; ++i) {
+    if (p[i] <= 0.0) continue;
+    kl += p[i] * std::log(p[i] / std::max(q[i], floor));
+  }
+  return kl;
+}
+
 std::vector<double> DegreeDistribution(const graph::Graph& g) {
   std::vector<uint64_t> hist = graph::DegreeHistogram(g);
   std::vector<double> dist(hist.size(), 0.0);

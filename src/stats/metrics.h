@@ -29,6 +29,19 @@ double HellingerDistance(std::vector<double> p, std::vector<double> q);
 /// degree values.
 double KsStatistic(std::vector<uint32_t> s1, std::vector<uint32_t> s2);
 
+/// KS statistic over real-valued samples: sup_x |F_1(x) - F_2(x)|. Because
+/// sup |F_1 - F_2| = sup |(1-F_1) - (1-F_2)|, this is also the sup-norm
+/// distance between the two empirical CCDF step functions (the curves of
+/// Figures 2/3). Empty-vs-nonempty is distance 1, empty-vs-empty is 0.
+double KsDistance(std::vector<double> a, std::vector<double> b);
+
+/// Kullback-Leibler divergence KL(p || q) = sum_{p_i > 0} p_i ln(p_i / q_i)
+/// over distributions padded with zeros to a common length; q_i is floored
+/// at `floor` so that mass of p outside q's support contributes a large but
+/// finite penalty. Nonnegative whenever p and q are distributions.
+double KlDivergence(std::vector<double> p, std::vector<double> q,
+                    double floor = 1e-12);
+
 /// Normalized degree histogram of a graph (mass at each degree value).
 std::vector<double> DegreeDistribution(const graph::Graph& g);
 

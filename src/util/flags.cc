@@ -65,4 +65,17 @@ std::vector<double> Flags::GetDoubleList(
   return out.empty() ? fallback : out;
 }
 
+std::vector<std::string> Flags::GetStringList(
+    const std::string& name, const std::vector<std::string>& fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  std::vector<std::string> out;
+  std::stringstream ss(it->second);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (!token.empty()) out.push_back(token);
+  }
+  return out.empty() ? fallback : out;
+}
+
 }  // namespace agmdp::util

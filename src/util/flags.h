@@ -29,6 +29,11 @@ class Flags {
   std::vector<double> GetDoubleList(const std::string& name,
                                     const std::vector<double>& fallback) const;
 
+  /// Parses a comma-separated list of strings, e.g. "--models=fcl,tricycle"
+  /// (empty tokens are dropped).
+  std::vector<std::string> GetStringList(
+      const std::string& name, const std::vector<std::string>& fallback) const;
+
   const std::vector<std::string>& positional() const { return positional_; }
 
  private:

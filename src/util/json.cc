@@ -1,0 +1,141 @@
+#include "src/util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "src/util/check.h"
+
+namespace agmdp::util {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x",
+                        static_cast<unsigned>(c));
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.10g", value);
+  return buffer;
+}
+
+void JsonWriter::BeforeValue() {
+  if (counts_.empty()) return;  // top-level value
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (counts_.back() > 0) out_ += ",";
+  out_ += "\n";
+  out_.append(static_cast<size_t>(2 * indent_), ' ');
+  ++counts_.back();
+}
+
+JsonWriter& JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += "{";
+  counts_.push_back(0);
+  ++indent_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndObject() {
+  AGMDP_CHECK(!counts_.empty() && !pending_key_);
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  --indent_;
+  if (!empty) {
+    out_ += "\n";
+    out_.append(static_cast<size_t>(2 * indent_), ' ');
+  }
+  out_ += "}";
+  return *this;
+}
+
+JsonWriter& JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += "[";
+  counts_.push_back(0);
+  ++indent_;
+  return *this;
+}
+
+JsonWriter& JsonWriter::EndArray() {
+  AGMDP_CHECK(!counts_.empty() && !pending_key_);
+  const bool empty = counts_.back() == 0;
+  counts_.pop_back();
+  --indent_;
+  if (!empty) {
+    out_ += "\n";
+    out_.append(static_cast<size_t>(2 * indent_), ' ');
+  }
+  out_ += "]";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Key(const std::string& key) {
+  AGMDP_CHECK(!counts_.empty() && !pending_key_);
+  if (counts_.back() > 0) out_ += ",";
+  out_ += "\n";
+  out_.append(static_cast<size_t>(2 * indent_), ' ');
+  ++counts_.back();
+  out_ += "\"" + JsonEscape(key) + "\": ";
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(double v) {
+  BeforeValue();
+  out_ += JsonNumber(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(int64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(uint64_t v) {
+  BeforeValue();
+  out_ += std::to_string(v);
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(bool v) {
+  BeforeValue();
+  out_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::Value(const std::string& v) {
+  BeforeValue();
+  out_ += "\"" + JsonEscape(v) + "\"";
+  return *this;
+}
+
+std::string JsonWriter::Finish() {
+  AGMDP_CHECK(counts_.empty() && !pending_key_);
+  return out_ + "\n";
+}
+
+}  // namespace agmdp::util

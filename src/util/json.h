@@ -1,0 +1,65 @@
+// Minimal streaming JSON writer for the machine-readable bench and sweep
+// artifacts (BENCH_perf.json, BENCH_sweep.json).
+//
+// The writer emits deterministically formatted output: keys appear in the
+// order they are written and numbers are rendered with a fixed printf
+// format, so two runs that produce the same values produce byte-identical
+// documents — the property the sweep engine's determinism contract (and its
+// tests) rely on.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace agmdp::util {
+
+/// Escapes a string for use inside a JSON string literal (quotes are not
+/// added).
+std::string JsonEscape(const std::string& s);
+
+/// Renders a double with a fixed "%.10g" format ("null" for non-finite
+/// values, which JSON cannot represent).
+std::string JsonNumber(double value);
+
+/// \brief Builds a JSON document through nested containers.
+///
+/// Usage:
+///   JsonWriter json;
+///   json.BeginObject();
+///   json.Key("cells").BeginArray();
+///   ...
+///   json.EndArray();
+///   json.EndObject();
+///   std::string doc = json.Finish();
+class JsonWriter {
+ public:
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by a value or container.
+  JsonWriter& Key(const std::string& key);
+
+  JsonWriter& Value(double v);
+  JsonWriter& Value(int64_t v);
+  JsonWriter& Value(uint64_t v);
+  JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
+  JsonWriter& Value(bool v);
+  JsonWriter& Value(const std::string& v);
+  JsonWriter& Value(const char* v) { return Value(std::string(v)); }
+
+  /// The completed document (call once, after all containers are closed).
+  std::string Finish();
+
+ private:
+  void BeforeValue();
+
+  std::string out_;
+  /// One entry per open container: the number of elements written so far.
+  std::vector<int> counts_;
+  bool pending_key_ = false;
+  int indent_ = 0;
+};
+
+}  // namespace agmdp::util

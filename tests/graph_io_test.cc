@@ -1,0 +1,166 @@
+// Edge-case tests for graph_io parsing: malformed input files must come
+// back as Status errors (never crash the process or silently mis-parse).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/graph/graph_io.h"
+
+namespace agmdp::graph {
+namespace {
+
+class GraphIoTest : public ::testing::Test {
+ protected:
+  // Writes `body` to a fresh file under the test temp dir, returns its path.
+  std::string WriteFile(const std::string& name, const std::string& body) {
+    const std::string path =
+        ::testing::TempDir() + "graph_io_test_" + name;
+    std::ofstream out(path, std::ios::trunc);
+    out << body;
+    out.close();
+    paths_.push_back(path);
+    return path;
+  }
+
+  void TearDown() override {
+    for (const std::string& path : paths_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(GraphIoTest, MissingFileIsIoError) {
+  auto r = ReadEdgeList("/nonexistent/never/graph.edges");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kIoError);
+}
+
+TEST_F(GraphIoTest, EmptyFileIsError) {
+  auto r = ReadEdgeList(WriteFile("empty.edges", ""));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("header"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, CommentOnlyFileIsError) {
+  auto r = ReadEdgeList(WriteFile("comments.edges", "# nothing\n# here\n"));
+  ASSERT_FALSE(r.ok());
+}
+
+TEST_F(GraphIoTest, BadHeaderIsError) {
+  EXPECT_FALSE(ReadEdgeList(WriteFile("hdr1.edges", "m 5\n0 1\n")).ok());
+  EXPECT_FALSE(ReadEdgeList(WriteFile("hdr2.edges", "n five\n")).ok());
+}
+
+TEST_F(GraphIoTest, NodeCountOverflowIsError) {
+  auto r = ReadEdgeList(WriteFile("huge.edges", "n 99999999999\n"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overflow"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, SelfLoopIsError) {
+  auto r = ReadEdgeList(WriteFile("loop.edges", "n 3\n0 1\n2 2\n"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("self-loop"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, DuplicateEdgeIsError) {
+  for (const char* body : {"n 3\n0 1\n0 1\n", "n 3\n0 1\n1 0\n"}) {
+    auto r = ReadEdgeList(WriteFile("dup.edges", body));
+    ASSERT_FALSE(r.ok()) << body;
+    EXPECT_NE(r.status().message().find("duplicate"), std::string::npos);
+  }
+}
+
+TEST_F(GraphIoTest, OutOfRangeNodeIdIsError) {
+  auto r = ReadEdgeList(WriteFile("range.edges", "n 3\n0 3\n"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos);
+}
+
+TEST_F(GraphIoTest, MalformedEdgeLineIsError) {
+  EXPECT_FALSE(ReadEdgeList(WriteFile("bad1.edges", "n 3\n0\n")).ok());
+  EXPECT_FALSE(ReadEdgeList(WriteFile("bad2.edges", "n 3\nzero one\n")).ok());
+}
+
+TEST_F(GraphIoTest, ValidEdgeListRoundTrips) {
+  auto r = ReadEdgeList(WriteFile("ok.edges", "# ok\nn 4\n0 1\n1 2\n2 3\n"));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_nodes(), 4u);
+  EXPECT_EQ(r.value().num_edges(), 3u);
+  EXPECT_TRUE(r.value().HasEdge(1, 2));
+}
+
+// ------------------------------------------------- attributed graphs --
+
+TEST_F(GraphIoTest, AttributedGraphRejectsMalformedAttributeFiles) {
+  const std::string prefix = ::testing::TempDir() + "graph_io_test_attr";
+  {
+    std::ofstream out(prefix + ".edges", std::ios::trunc);
+    out << "n 2\n0 1\n";
+  }
+  paths_.push_back(prefix + ".edges");
+  paths_.push_back(prefix + ".attrs");
+
+  auto write_attrs = [&](const std::string& body) {
+    std::ofstream out(prefix + ".attrs", std::ios::trunc);
+    out << body;
+  };
+
+  write_attrs("");  // empty attribute file
+  EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  write_attrs("x 2 w 1\n");  // bad header tags
+  EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  write_attrs("n 3 w 1\n");  // node count mismatch vs .edges
+  EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  // Out-of-range attribute dimension used to abort the process inside the
+  // AttributedGraph constructor; it must be a Status error.
+  write_attrs("n 2 w 50\n0 0\n1 0\n");
+  {
+    auto r = ReadAttributedGraph(prefix);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("attribute count"),
+              std::string::npos);
+  }
+  write_attrs("n 2 w -1\n");
+  EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  write_attrs("n 2 w 1\n0 2\n");  // config out of range for w=1
+  EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  write_attrs("n 2 w 1\n5 0\n");  // node id out of range
+  EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  write_attrs("n 2 w 1\nzero 0\n");  // malformed attribute line
+  EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  write_attrs("n 2 w 1\n0 1\n1 0\n");  // valid
+  auto ok = ReadAttributedGraph(prefix);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok.value().attribute(0), 1u);
+  EXPECT_EQ(ok.value().attribute(1), 0u);
+}
+
+TEST_F(GraphIoTest, WriteReadRoundTripStaysCanonical) {
+  AttributedGraph g(4, 2);
+  g.structure().AddEdge(2, 0);
+  g.structure().AddEdge(1, 3);
+  g.set_attribute(0, 3);
+  g.set_attribute(2, 1);
+  const std::string prefix = ::testing::TempDir() + "graph_io_test_rt";
+  paths_.push_back(prefix + ".edges");
+  paths_.push_back(prefix + ".attrs");
+  ASSERT_TRUE(WriteAttributedGraph(g, prefix).ok());
+  auto back = ReadAttributedGraph(prefix);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().attributes(), g.attributes());
+  EXPECT_EQ(back.value().structure().CanonicalEdges(),
+            g.structure().CanonicalEdges());
+}
+
+}  // namespace
+}  // namespace agmdp::graph

@@ -1,0 +1,163 @@
+// Statistical tests for the DP mechanisms: with a fixed seed and ~100k
+// draws, the empirical moments / selection frequencies must land within
+// analytic tolerances.
+//
+// Tolerances are set at ~5 standard errors of the corresponding estimator,
+// so the assertions hold comfortably for the pinned seeds while remaining
+// tight enough to catch a mis-calibrated mechanism (e.g. a wrong scale or a
+// swapped epsilon/sensitivity). These run under the `statistical` ctest
+// label so any tolerance failure is visible in isolation in CI.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/dp/exponential_mechanism.h"
+#include "src/dp/geometric_mechanism.h"
+#include "src/dp/laplace_mechanism.h"
+#include "src/util/rng.h"
+
+namespace agmdp::dp {
+namespace {
+
+constexpr int kDraws = 100000;
+
+struct Moments {
+  double mean = 0.0;
+  double variance = 0.0;  // population variance of the sample
+};
+
+template <typename DrawFn>
+Moments EmpiricalMoments(int draws, DrawFn&& draw) {
+  // Welford, to keep the variance numerically clean over 100k samples.
+  Moments m;
+  double m2 = 0.0;
+  for (int i = 1; i <= draws; ++i) {
+    const double x = draw();
+    const double delta = x - m.mean;
+    m.mean += delta / i;
+    m2 += delta * (x - m.mean);
+  }
+  m.variance = m2 / draws;
+  return m;
+}
+
+// ------------------------------------------------------------- Laplace --
+
+TEST(MechanismStatsTest, LaplaceMechanismMatchesAnalyticMoments) {
+  // Laplace(b) with b = sensitivity / epsilon = 2: mean = value,
+  // variance = 2 b^2 = 8.
+  const double value = 3.0;
+  const double sensitivity = 1.0;
+  const double epsilon = 0.5;
+  const double b = sensitivity / epsilon;
+  util::Rng rng(20260101);
+  const Moments m = EmpiricalMoments(kDraws, [&] {
+    return LaplaceMechanism(value, sensitivity, epsilon, rng);
+  });
+
+  // Standard errors: sd(mean) = sqrt(2 b^2 / N); sd(variance estimate) =
+  // sqrt((mu4 - sigma^4) / N) with mu4 = 24 b^4 for Laplace.
+  const double mean_se = std::sqrt(2.0 * b * b / kDraws);
+  const double var_se = std::sqrt(20.0 * b * b * b * b / kDraws);
+  EXPECT_NEAR(m.mean, value, 5.0 * mean_se);
+  EXPECT_NEAR(m.variance, 2.0 * b * b, 5.0 * var_se);
+}
+
+TEST(MechanismStatsTest, LaplaceScaleTracksEpsilon) {
+  // Doubling epsilon must halve the noise scale: compare empirical mean
+  // absolute deviations (E|X| = b for Laplace(b)).
+  auto mean_abs = [&](double epsilon, uint64_t seed) {
+    util::Rng rng(seed);
+    double sum = 0.0;
+    for (int i = 0; i < kDraws; ++i) {
+      sum += std::fabs(LaplaceMechanism(0.0, 1.0, epsilon, rng));
+    }
+    return sum / kDraws;
+  };
+  const double b_eps1 = mean_abs(1.0, 11);   // b = 1
+  const double b_eps2 = mean_abs(2.0, 12);   // b = 1/2
+  EXPECT_NEAR(b_eps1, 1.0, 0.02);
+  EXPECT_NEAR(b_eps2, 0.5, 0.01);
+  EXPECT_NEAR(b_eps1 / b_eps2, 2.0, 0.1);
+}
+
+// ----------------------------------------------------------- geometric --
+
+TEST(MechanismStatsTest, GeometricMechanismMatchesAnalyticMoments) {
+  // Two-sided geometric with alpha = exp(-epsilon / sensitivity):
+  // mean 0, variance 2 alpha / (1 - alpha)^2.
+  const double epsilon = 1.0;
+  const double sensitivity = 1.0;
+  const double alpha = std::exp(-epsilon / sensitivity);
+  const double variance = 2.0 * alpha / ((1.0 - alpha) * (1.0 - alpha));
+  util::Rng rng(20260202);
+  const Moments m = EmpiricalMoments(kDraws, [&] {
+    return static_cast<double>(
+        TwoSidedGeometricNoise(epsilon, sensitivity, rng));
+  });
+
+  const double mean_se = std::sqrt(variance / kDraws);
+  EXPECT_NEAR(m.mean, 0.0, 5.0 * mean_se);
+  // mu4 of the two-sided geometric is bounded well under 10 sigma^4 at this
+  // alpha; 5 * sqrt(9 sigma^4 / N) is a safely generous band.
+  const double var_se = 3.0 * variance / std::sqrt(kDraws);
+  EXPECT_NEAR(m.variance, variance, 5.0 * var_se);
+}
+
+TEST(MechanismStatsTest, GeometricMechanismCentersOnValue) {
+  const int64_t value = 1000;
+  util::Rng rng(20260303);
+  const Moments m = EmpiricalMoments(kDraws, [&] {
+    return static_cast<double>(GeometricMechanism(value, 1.0, 1.0, rng));
+  });
+  EXPECT_NEAR(m.mean, static_cast<double>(value), 0.05);
+}
+
+// --------------------------------------------------------- exponential --
+
+TEST(MechanismStatsTest, ExponentialMechanismSelectionFrequencies) {
+  // Scores {0, 1, 2}, sensitivity 1, epsilon 2: P[i] proportional to
+  // exp(epsilon * score / 2) = exp(score), the softmax of {0, 1, 2}.
+  const std::vector<double> scores = {0.0, 1.0, 2.0};
+  const double epsilon = 2.0;
+  double z = 0.0;
+  std::vector<double> expected(scores.size());
+  for (size_t i = 0; i < scores.size(); ++i) {
+    expected[i] = std::exp(epsilon * scores[i] / 2.0);
+    z += expected[i];
+  }
+  for (double& p : expected) p /= z;
+
+  util::Rng rng(20260404);
+  std::vector<int> counts(scores.size(), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    auto pick = ExponentialMechanism(scores, 1.0, epsilon, rng);
+    ASSERT_TRUE(pick.ok());
+    ASSERT_LT(pick.value(), counts.size());
+    ++counts[pick.value()];
+  }
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const double freq = static_cast<double>(counts[i]) / kDraws;
+    const double se = std::sqrt(expected[i] * (1.0 - expected[i]) / kDraws);
+    EXPECT_NEAR(freq, expected[i], 5.0 * se) << "candidate " << i;
+  }
+}
+
+TEST(MechanismStatsTest, ExponentialMechanismIsUniformOnEqualScores) {
+  const std::vector<double> scores(4, 1.0);
+  util::Rng rng(20260505);
+  std::vector<int> counts(scores.size(), 0);
+  for (int i = 0; i < kDraws; ++i) {
+    auto pick = ExponentialMechanism(scores, 1.0, 0.5, rng);
+    ASSERT_TRUE(pick.ok());
+    ++counts[pick.value()];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / kDraws, 0.25, 0.01);
+  }
+}
+
+}  // namespace
+}  // namespace agmdp::dp

@@ -194,6 +194,64 @@ TEST(SamplerDeterminismTest, ParallelThetaFMatchesSequential) {
   }
 }
 
+// FNV-1a over the canonical edge list, the attribute vector and the graph
+// dimensions — a stable fingerprint of a released graph.
+uint64_t GraphChecksum(const graph::AttributedGraph& g) {
+  uint64_t h = 1469598103934665603ULL;
+  auto mix = [&h](uint64_t x) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (x >> (8 * i)) & 0xffu;
+      h *= 1099511628211ULL;
+    }
+  };
+  mix(g.num_nodes());
+  mix(static_cast<uint64_t>(g.num_attributes()));
+  for (const graph::Edge& e : g.structure().CanonicalEdges()) {
+    mix(e.u);
+    mix(e.v);
+  }
+  for (graph::AttrConfig a : g.attributes()) mix(a);
+  return h;
+}
+
+// Golden-release regression: a fixed seed and a fixed PipelineConfig must
+// reproduce the same checksummed released edge list at 1, 2 and 4 sampler
+// threads and across repeated runs, with a ledger that sums exactly to the
+// configured epsilon every time.
+TEST(GoldenReleaseTest, ChecksummedReleaseAndLedgerReproduceAcrossThreads) {
+  constexpr uint64_t kSeed = 20260730;
+  for (const std::string& model :
+       {std::string("fcl"), std::string("tricycle")}) {
+    uint64_t golden = 0;
+    for (int threads : {1, 2, 4, /*rerun at 1:*/ 1}) {
+      pipeline::PipelineConfig config;
+      config.epsilon = std::log(2.0);
+      config.model = model;
+      config.sample.acceptance_iterations = 2;
+      config.sample.threads = threads;
+      util::Rng rng(kSeed);
+      auto result = pipeline::RunPrivateRelease(Input(), config, rng);
+      ASSERT_TRUE(result.ok()) << model << ": " << result.status().ToString();
+
+      const uint64_t checksum = GraphChecksum(result.value().graph);
+      if (golden == 0) {
+        golden = checksum;
+      } else {
+        EXPECT_EQ(checksum, golden)
+            << model << " diverged at threads=" << threads;
+      }
+
+      // The epsilon ledger must sum exactly (not approximately) to the
+      // budget on every run.
+      double sum = 0.0;
+      for (const auto& [label, eps] : result.value().ledger) sum += eps;
+      EXPECT_DOUBLE_EQ(sum, config.epsilon) << model;
+      EXPECT_DOUBLE_EQ(result.value().epsilon_spent, config.epsilon) << model;
+    }
+    EXPECT_NE(golden, 0u) << model;
+  }
+}
+
 TEST(SamplerDeterminismTest, SubstreamIsPureAndDistinct) {
   util::Rng a = util::Rng::Substream(123, 0);
   util::Rng b = util::Rng::Substream(123, 0);

@@ -22,7 +22,18 @@
 //   stats      --in=PREFIX
 //              Structural summary, assortativity and path statistics.
 //   evaluate   --in=PREFIX --synthetic=PREFIX2
-//              The paper's utility error columns between two graphs.
+//              The full utility metric suite (src/eval) between two graphs.
+//   sweep      --datasets=lastfm,petster --models=fcl,tricycle
+//              --eps=0.2,0.69,1.1 [--repeats=3] [--scale=0.1] [--seed=1]
+//              [--threads=1] [--sampler-threads=1] [--accept_iters=2]
+//              [--out=BENCH_sweep.json] [--no-timing]
+//              Run the multi-scenario sweep engine over the dataset × model
+//              × epsilon grid (repeats fully accounted releases per cell,
+//              deterministic per-cell RNG substreams, cells parallelized
+//              over --threads workers) and write per-cell mean/stddev of
+//              every utility metric as BENCH_sweep.json. With a fixed seed
+//              the JSON is byte-identical across runs (timing fields aside;
+//              --no-timing omits them entirely).
 //   export     --in=PREFIX --out=FILE.graphml
 //              GraphML export for external tools.
 //
@@ -35,10 +46,11 @@
 
 #include "src/agm/params_io.h"
 #include "src/datasets/datasets.h"
+#include "src/eval/sweep_engine.h"
+#include "src/eval/utility_report.h"
 #include "src/graph/graph_io.h"
 #include "src/graph/paths.h"
 #include "src/pipeline/release_pipeline.h"
-#include "src/stats/assortativity.h"
 #include "src/stats/joint_degree.h"
 #include "src/stats/summary.h"
 #include "src/util/flags.h"
@@ -56,7 +68,9 @@ int Fail(const util::Status& status) {
 int Usage() {
   std::fprintf(stderr,
                "usage: agmdp <generate|fit|sample|synthesize|models|stats|"
-               "evaluate|export> [--flags]\n"
+               "evaluate|sweep|export> [--flags]\n"
+               "  sweep: run the dataset x model x epsilon utility grid and\n"
+               "  write per-cell mean/stddev metrics to BENCH_sweep.json\n"
                "see the header of tools/agmdp_cli.cc for details\n");
   return 2;
 }
@@ -191,17 +205,19 @@ int CmdStats(const util::Flags& flags) {
                           flags.GetString("in", ""),
                           stats::Summarize(g.structure()))
                           .c_str());
-  std::printf("degree assortativity:    %+.4f\n",
-              stats::DegreeAssortativity(g.structure()));
-  std::printf("attribute assortativity: %+.4f\n",
-              stats::AttributeAssortativity(g));
   util::Rng rng(flags.GetInt("seed", 1));
-  graph::PathStats paths = graph::EstimatePathStats(
-      g.structure(), static_cast<uint32_t>(flags.GetInt("bfs_samples", 64)),
-      rng);
-  std::printf("avg path length (est):   %.3f\n", paths.avg_path_length);
-  std::printf("effective diameter:      %.2f\n", paths.effective_diameter);
-  std::printf("diameter lower bound:    %u\n", paths.diameter_lower_bound);
+  const eval::StructuralProfile profile = eval::ProfileGraph(
+      g, static_cast<uint32_t>(flags.GetInt("bfs_samples", 64)), rng);
+  std::printf("degree assortativity:    %+.4f\n",
+              profile.degree_assortativity);
+  std::printf("attribute assortativity: %+.4f\n",
+              profile.attribute_assortativity);
+  for (size_t a = 0; a < profile.homophily.size(); ++a) {
+    std::printf("homophily attr %zu:        %.4f\n", a, profile.homophily[a]);
+  }
+  std::printf("avg path length (est):   %.3f\n", profile.avg_path_length);
+  std::printf("effective diameter:      %.2f\n", profile.effective_diameter);
+  std::printf("diameter lower bound:    %u\n", profile.diameter_lower_bound);
   return 0;
 }
 
@@ -210,19 +226,73 @@ int CmdEvaluate(const util::Flags& flags) {
   if (!input.ok()) return Fail(input.status());
   auto synthetic = LoadInput(flags, "synthetic");
   if (!synthetic.ok()) return Fail(synthetic.status());
-  stats::UtilityErrors e =
-      stats::CompareGraphs(input.value(), synthetic.value());
+  const eval::UtilityReport report =
+      eval::EvaluateRelease(input.value(), synthetic.value());
   std::printf("dK-2 Hellinger    %.4f\n",
               stats::JointDegreeDistance(input.value().structure(),
                                          synthetic.value().structure()));
-  std::printf("ThetaF MAE        %.4f\n", e.theta_f_mae);
-  std::printf("ThetaF Hellinger  %.4f\n", e.theta_f_hellinger);
-  std::printf("degree KS         %.4f\n", e.degree_ks);
-  std::printf("degree Hellinger  %.4f\n", e.degree_hellinger);
-  std::printf("triangles rel.err %.4f\n", e.triangles_re);
-  std::printf("avg-CC rel.err    %.4f\n", e.avg_clustering_re);
-  std::printf("global-CC rel.err %.4f\n", e.global_clustering_re);
-  std::printf("edges rel.err     %.4f\n", e.edges_re);
+  for (const auto& [name, value] : report.Flatten()) {
+    std::printf("%-28s %+.4f\n", name.c_str(), value);
+  }
+  return 0;
+}
+
+int CmdSweep(const util::Flags& flags) {
+  eval::SweepSpec spec;
+  spec.datasets = flags.GetStringList("datasets", {"lastfm"});
+  spec.dataset_scale = flags.GetDouble("scale", 0.1);
+  spec.models = flags.GetStringList("models", {"fcl", "tricycle"});
+  spec.epsilons =
+      flags.GetDoubleList("eps", {0.2, std::log(2.0), std::log(3.0)});
+  spec.repeats = static_cast<int>(flags.GetInt("repeats", 3));
+  spec.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  spec.threads = static_cast<int>(flags.GetInt("threads", 1));
+  spec.sampler_threads =
+      static_cast<int>(flags.GetInt("sampler-threads", 1));
+  spec.acceptance_iterations =
+      static_cast<int>(flags.GetInt("accept_iters", 2));
+
+  auto result = eval::RunSweepOnDatasets(spec);
+  if (!result.ok()) return Fail(result.status());
+
+  std::printf("# sweep: %zu cells (%zu datasets x %zu models x %zu epsilons)"
+              ", %d repeats, %.2fs\n",
+              result.value().cells.size(), spec.datasets.size(),
+              spec.models.size(), spec.epsilons.size(), spec.repeats,
+              result.value().total_seconds);
+  int failed_cells = 0;
+  for (const eval::SweepCell& cell : result.value().cells) {
+    if (!cell.error.empty()) {
+      ++failed_cells;
+      std::printf("%-10s %-12s eps=%-6.3f FAILED: %s\n", cell.dataset.c_str(),
+                  cell.model.c_str(), cell.epsilon, cell.error.c_str());
+      continue;
+    }
+    std::printf("%-10s %-12s eps=%-6.3f KS_S=%.4f H_ThetaF=%.4f n_tri=%.4f "
+                "homo=%+.4f\n",
+                cell.dataset.c_str(), cell.model.c_str(), cell.epsilon,
+                eval::MetricMean(cell.metrics, "degree_ks"),
+                eval::MetricMean(cell.metrics, "theta_f_hellinger"),
+                eval::MetricMean(cell.metrics, "triangles_re"),
+                eval::MetricMean(cell.metrics, "homophily_delta_mean_abs"));
+  }
+
+  const std::string out = flags.GetString("out", "BENCH_sweep.json");
+  const bool include_timing = !flags.GetBool("no-timing", false);
+  const std::string body =
+      eval::SweepResultToJson(result.value(), include_timing);
+  FILE* f = std::fopen(out.c_str(), "w");
+  if (f == nullptr) {
+    return Fail(util::Status::IoError("cannot open for writing: " + out));
+  }
+  std::fwrite(body.data(), 1, body.size(), f);
+  std::fclose(f);
+  std::printf("wrote %s\n", out.c_str());
+  if (failed_cells > 0) {
+    std::fprintf(stderr, "error: %d sweep cell(s) failed (see output and %s)\n",
+                 failed_cells, out.c_str());
+    return 1;
+  }
   return 0;
 }
 
@@ -250,6 +320,7 @@ int main(int argc, char** argv) {
   if (command == "models") return CmdModels(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
+  if (command == "sweep") return CmdSweep(flags);
   if (command == "export") return CmdExport(flags);
   return Usage();
 }
