@@ -9,6 +9,7 @@
 
 #include "bench/bench_util.h"
 #include "src/eval/utility_report.h"
+#include "src/graph/csr.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
 #include "src/models/bter.h"
@@ -21,9 +22,12 @@ namespace {
 
 using namespace agmdp;
 
+// One immutable CSR snapshot per generated graph; the mutable Graph is only
+// the generation-side representation.
 void PrintSeries(const char* dataset, const char* model,
                  const graph::Graph& g, size_t points) {
-  for (const auto& [x, y] : eval::DegreeCcdfSeries(g, points)) {
+  const graph::CsrGraph snapshot = graph::CsrGraph::FromGraph(g);
+  for (const auto& [x, y] : eval::DegreeCcdfSeries(snapshot, points)) {
     std::printf("%s %s %.0f %.6f\n", dataset, model, x, y);
   }
 }

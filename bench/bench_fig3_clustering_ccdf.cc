@@ -10,6 +10,7 @@
 #include "bench/bench_util.h"
 #include "src/eval/utility_report.h"
 #include "src/graph/clustering.h"
+#include "src/graph/csr.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
 #include "src/models/bter.h"
@@ -22,11 +23,15 @@ namespace {
 
 using namespace agmdp;
 
+// One immutable CSR snapshot per generated graph, reused for the average
+// and the CCDF series; the mutable Graph is only the generation-side
+// representation.
 void PrintSeries(const char* dataset, const char* model,
                  const graph::Graph& g, size_t points) {
+  const graph::CsrGraph snapshot = graph::CsrGraph::FromGraph(g);
   std::printf("# %s %s avg_local_cc=%.4f\n", dataset, model,
-              graph::AverageLocalClustering(g));
-  for (const auto& [x, y] : eval::ClusteringCcdfSeries(g, points)) {
+              graph::AverageLocalClustering(snapshot));
+  for (const auto& [x, y] : eval::ClusteringCcdfSeries(snapshot, points)) {
     std::printf("%s %s %.5f %.6f\n", dataset, model, x, y);
   }
 }

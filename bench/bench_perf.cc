@@ -5,12 +5,20 @@
 // thread sweep (1/2/4 workers over the same seed) with its wall-clock
 // speedup — the determinism contract is asserted on the way.
 //
+// The csr_analytics_seconds section compares the immutable CsrGraph
+// snapshot kernels (1/2/4 analytics threads) against the adjacency-list
+// path on the same graph, asserting the determinism contract (results
+// bitwise-identical to the legacy path at every thread count).
+// hardware_concurrency is recorded so speedup numbers from 1-core
+// containers are interpretable.
+//
 //   ./bench_perf [--scale=0.2] [--trials=3] [--out=BENCH_perf.json]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -20,6 +28,9 @@
 #include "src/dp/edge_truncation.h"
 #include "src/dp/ladder_mechanism.h"
 #include "src/dp/constrained_inference.h"
+#include "src/eval/utility_report.h"
+#include "src/graph/clustering.h"
+#include "src/graph/csr.h"
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
 #include "src/models/chung_lu.h"
@@ -71,6 +82,8 @@ int main(int argc, char** argv) {
   json.Key("scale").Value(bench::ScaleFor(id, flags));
   json.Key("n").Value(static_cast<uint64_t>(input.num_nodes()));
   json.Key("m").Value(input.num_edges());
+  json.Key("hardware_concurrency")
+      .Value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
 
   // ------------------------------------------------------------ components
   json.Key("components_seconds").BeginObject();
@@ -115,6 +128,90 @@ int main(int argc, char** argv) {
     }));
   }
   json.EndObject();
+
+  // ------------------------------------------- CSR snapshot analytics path
+  // The immutable snapshot vs the mutable adjacency-list representation on
+  // the same graph: snapshot construction, then triangle counting + local
+  // clustering (the dominant eval kernels) and the full EvaluateRelease
+  // metric suite. CSR kernels run at 1/2/4 analytics threads; the
+  // determinism contract — bitwise-identical to the legacy path at every
+  // thread count — is asserted on the way.
+  {
+    json.Key("csr_analytics_seconds").BeginObject();
+    auto entry = [&](const std::string& name, double seconds) {
+      json.Key(name).Value(seconds);
+      std::printf("%-28s %10.3f ms\n", ("csr/" + name).c_str(),
+                  1e3 * seconds);
+    };
+
+    graph::AttributedCsrGraph snapshot;
+    entry("from_graph", TimeBest(trials, [&] {
+      snapshot = graph::AttributedCsrGraph::FromGraph(input);
+    }));
+
+    const uint64_t triangles_legacy = graph::CountTriangles(input.structure());
+    const std::vector<double> clustering_legacy =
+        graph::LocalClusteringCoefficients(input.structure());
+    const double adjacency_triangles_seconds = TimeBest(trials, [&] {
+      graph::CountTriangles(input.structure());
+    });
+    const double adjacency_clustering_seconds = TimeBest(trials, [&] {
+      graph::LocalClusteringCoefficients(input.structure());
+    });
+    entry("adjacency_triangles", adjacency_triangles_seconds);
+    entry("adjacency_clustering", adjacency_clustering_seconds);
+
+    bool deterministic = true;
+    double csr_triangles_1t = 0.0, csr_clustering_1t = 0.0;
+    for (int threads : {1, 2, 4}) {
+      uint64_t triangles_csr = 0;
+      const double tri_seconds = TimeBest(trials, [&] {
+        triangles_csr = graph::CountTriangles(snapshot.structure, threads);
+      });
+      std::vector<double> clustering_csr;
+      const double cc_seconds = TimeBest(trials, [&] {
+        clustering_csr =
+            graph::LocalClusteringCoefficients(snapshot.structure, threads);
+      });
+      deterministic = deterministic && triangles_csr == triangles_legacy &&
+                      clustering_csr == clustering_legacy;
+      if (threads == 1) {
+        csr_triangles_1t = tri_seconds;
+        csr_clustering_1t = cc_seconds;
+      }
+      entry("triangles_" + std::to_string(threads) + "t", tri_seconds);
+      entry("clustering_" + std::to_string(threads) + "t", cc_seconds);
+    }
+
+    // The sweep engine's per-release workload: the full metric suite, with
+    // the CSR side paying for its snapshot build (the AttributedGraph
+    // overload builds one internally, exactly like a sweep cell does).
+    const eval::ReferenceProfile reference =
+        eval::ProfileReference(snapshot, /*analytics_threads=*/1);
+    eval::UtilityReport report_legacy, report_csr;
+    entry("evaluate_adjacency", TimeBest(trials, [&] {
+      report_legacy = eval::EvaluateReleaseLegacy(reference, input);
+    }));
+    entry("evaluate_csr_1t", TimeBest(trials, [&] {
+      report_csr = eval::EvaluateRelease(reference, input,
+                                         /*analytics_threads=*/1);
+    }));
+    deterministic =
+        deterministic && report_csr.Flatten() == report_legacy.Flatten();
+    json.EndObject();
+
+    const double adjacency_total =
+        adjacency_triangles_seconds + adjacency_clustering_seconds;
+    const double csr_total = csr_triangles_1t + csr_clustering_1t;
+    json.Key("csr_triangle_clustering_speedup_1t")
+        .Value(csr_total > 0.0 ? adjacency_total / csr_total : 0.0);
+    json.Key("csr_deterministic_1_2_4").Value(deterministic);
+    std::printf("csr tri+clustering speedup    %10.2fx (deterministic: %s)\n",
+                csr_total > 0.0 ? adjacency_total / csr_total : 0.0,
+                deterministic ? "yes" : "NO");
+    AGMDP_CHECK_MSG(deterministic,
+                    "CSR analytics differ from the adjacency-list path");
+  }
 
   // ------------------------------------- pipeline end-to-end stage timings
   {

@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "src/graph/csr.h"
 #include "src/stats/summary.h"
 
 int main(int argc, char** argv) {
@@ -18,7 +19,8 @@ int main(int argc, char** argv) {
   for (datasets::DatasetId id : bench::SelectedDatasets(flags)) {
     const datasets::DatasetSpec& spec = datasets::PaperSpec(id);
     graph::AttributedGraph g = bench::LoadDataset(id, flags);
-    stats::GraphSummary s = stats::Summarize(g.structure());
+    stats::GraphSummary s =
+        stats::Summarize(graph::CsrGraph::FromGraph(g.structure()));
     const double scale = bench::ScaleFor(id, flags);
     // Table 6's davg column is m/n (its m and davg agree only under that
     // convention); print the stand-in the same way.

@@ -101,6 +101,8 @@ int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
   const int trials = static_cast<int>(flags.GetInt("trials", 5));
   const int iters = static_cast<int>(flags.GetInt("accept_iters", 2));
   const int threads = static_cast<int>(flags.GetInt("threads", 1));
+  const int analytics_threads =
+      static_cast<int>(flags.GetInt("analytics_threads", 1));
   std::vector<double> epsilons =
       flags.GetDoubleList("eps", spec.table_epsilons);
   const std::vector<std::string> models = TableModels(flags);
@@ -109,11 +111,11 @@ int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
               spec.name.c_str(), trials);
   graph::AttributedGraph input = LoadDataset(id, flags);
 
-  // One profile of the original serves the baselines, the non-private
-  // reference rows and — handed to RunSweep via SweepInput::reference —
-  // every private cell.
+  // One profile of the original (computed on one CsrGraph snapshot) serves
+  // the baselines, the non-private reference rows and — handed to RunSweep
+  // via SweepInput::reference — every private cell.
   const auto reference_ptr = std::make_shared<const eval::ReferenceProfile>(
-      eval::ProfileReference(input));
+      eval::ProfileReference(input, analytics_threads));
   const eval::ReferenceProfile& reference = *reference_ptr;
   PrintBaselines(input, reference, flags);
 
@@ -132,7 +134,8 @@ int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
     for (int t = 0; t < trials; ++t) {
       auto synthetic = agm::SynthesizeAgmNonPrivate(input, options, rng);
       AGMDP_CHECK_MSG(synthetic.ok(), synthetic.status().ToString().c_str());
-      accumulator.Add(eval::EvaluateRelease(reference, synthetic.value()));
+      accumulator.Add(eval::EvaluateRelease(reference, synthetic.value(),
+                                            analytics_threads));
     }
     PrintRow("nonpriv", tricycle ? "AGM-TriCL" : "AGM-FCL",
              accumulator.Stats());
@@ -149,6 +152,7 @@ int RunAgmDpTable(datasets::DatasetId id, const util::Flags& flags) {
   sweep.threads = static_cast<int>(flags.GetInt("sweep_threads", 1));
   sweep.sampler_threads = threads;
   sweep.acceptance_iterations = iters;
+  sweep.analytics_threads = analytics_threads;
 
   std::vector<eval::SweepInput> inputs;
   inputs.push_back(

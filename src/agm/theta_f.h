@@ -15,16 +15,24 @@
 #include <vector>
 
 #include "src/graph/attributed_graph.h"
+#include "src/graph/csr.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
 namespace agmdp::agm {
 
 /// Exact connection counts Q_F over the edges of g, length C(2^w + 1, 2).
+/// The snapshot overload tallies on `threads` workers (<= 0 selects
+/// hardware concurrency); counts are integers, so it agrees exactly with
+/// the Graph path at any thread count.
 std::vector<double> ComputeConnectionCounts(const graph::AttributedGraph& g);
+std::vector<double> ComputeConnectionCounts(const graph::AttributedCsrGraph& g,
+                                            int threads = 1);
 
 /// Exact ΘF (normalized Q_F); uniform when the graph has no edges.
 std::vector<double> ComputeThetaF(const graph::AttributedGraph& g);
+std::vector<double> ComputeThetaF(const graph::AttributedCsrGraph& g,
+                                  int threads = 1);
 
 /// Algorithm 4 (LearnCorrelationsDP): truncate to a k-bounded graph
 /// (Definition 2), compute Q_F, add Laplace(2k / epsilon) (Proposition 1:

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "src/datasets/datasets.h"
+#include "src/graph/csr.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"
@@ -75,7 +76,10 @@ void RunCell(const SweepInput& input, const ReferenceProfile& reference,
       return;
     }
     spent_sum += result.value().epsilon_spent;
-    accumulator.Add(EvaluateRelease(reference, result.value().graph));
+    // One immutable snapshot per release, reused across every metric.
+    accumulator.Add(EvaluateRelease(
+        reference, graph::AttributedCsrGraph::FromGraph(result.value().graph),
+        spec.analytics_threads));
   }
   cell->metrics = accumulator.Stats();
   cell->epsilon_spent = spent_sum / spec.repeats;
@@ -107,7 +111,8 @@ util::Result<SweepResult> RunSweep(const std::vector<SweepInput>& inputs,
     if (input.reference != nullptr) {
       references.push_back(input.reference.get());
     } else {
-      owned_references.push_back(ProfileReference(input.graph));
+      owned_references.push_back(
+          ProfileReference(input.graph, spec.analytics_threads));
       references.push_back(&owned_references.back());
     }
   }
@@ -190,12 +195,13 @@ std::string SweepResultToJson(const SweepResult& result,
                               bool include_timing) {
   util::JsonWriter json;
   json.BeginObject();
-  json.Key("schema").Value("agmdp.sweep.v1");
+  json.Key("schema").Value("agmdp.sweep.v2");
   json.Key("seed").Value(result.spec.seed);
   json.Key("repeats").Value(result.spec.repeats);
   json.Key("dataset_scale").Value(result.spec.dataset_scale);
   json.Key("sampler_threads").Value(result.spec.sampler_threads);
   json.Key("acceptance_iterations").Value(result.spec.acceptance_iterations);
+  json.Key("analytics_threads").Value(result.spec.analytics_threads);
   json.Key("datasets").BeginArray();
   for (const std::string& name : result.input_names) json.Value(name);
   json.EndArray();

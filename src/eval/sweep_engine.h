@@ -48,6 +48,10 @@ struct SweepSpec {
   /// Per-release sampler settings (forwarded to PipelineConfig).
   int sampler_threads = 1;
   int acceptance_iterations = 2;
+  /// Worker threads inside the CsrGraph analytics kernels when profiling
+  /// inputs and evaluating releases (<= 0 = hardware concurrency). Results
+  /// are bitwise-identical at any value.
+  int analytics_threads = 1;
   /// Optional custom budget split; zero-total selects the model default.
   dp::BudgetSplit split;
 };
@@ -102,7 +106,7 @@ util::Result<SweepResult> RunSweep(const std::vector<SweepInput>& inputs,
 util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec);
 
 /// Serializes a sweep result as the BENCH_sweep.json document (schema
-/// "agmdp.sweep.v1"; see DESIGN.md). With `include_timing` false the
+/// "agmdp.sweep.v2"; see DESIGN.md). With `include_timing` false the
 /// timing fields (total_seconds, per-cell seconds_mean) are omitted and the
 /// document is byte-identical across runs with the same spec and inputs.
 std::string SweepResultToJson(const SweepResult& result,

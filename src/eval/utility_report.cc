@@ -5,6 +5,7 @@
 
 #include "src/agm/theta_f.h"
 #include "src/graph/clustering.h"
+#include "src/graph/csr.h"
 #include "src/graph/degree.h"
 #include "src/graph/paths.h"
 #include "src/graph/triangle_count.h"
@@ -16,7 +17,10 @@ namespace agmdp::eval {
 
 namespace {
 
-std::vector<double> DegreesAsDoubles(const graph::Graph& g) {
+// Shared body for both representations (graph::DegreeSequence has matching
+// overloads), so the two CCDF paths cannot drift apart.
+template <typename AnyGraph>
+std::vector<double> DegreesAsDoubles(const AnyGraph& g) {
   std::vector<double> out;
   out.reserve(g.num_nodes());
   for (uint32_t d : graph::DegreeSequence(g)) {
@@ -25,6 +29,8 @@ std::vector<double> DegreesAsDoubles(const graph::Graph& g) {
   return out;
 }
 
+// Serves only the frozen *Legacy reference path; the production path reads
+// the mean off graph::ClusteringStats (same chain, same values).
 double MeanOf(const std::vector<double>& values) {
   if (values.empty()) return 0.0;
   double sum = 0.0;
@@ -64,7 +70,37 @@ std::vector<std::pair<std::string, double>> UtilityReport::Flatten() const {
   return flat;
 }
 
-ReferenceProfile ProfileReference(const graph::AttributedGraph& original) {
+ReferenceProfile ProfileReference(const graph::AttributedGraph& original,
+                                  int analytics_threads) {
+  return ProfileReference(graph::AttributedCsrGraph::FromGraph(original),
+                          analytics_threads);
+}
+
+ReferenceProfile ProfileReference(const graph::AttributedCsrGraph& original,
+                                  int analytics_threads) {
+  ReferenceProfile ref;
+  const graph::CsrGraph& g = original.structure;
+  ref.theta_f = agm::ComputeThetaF(original, analytics_threads);
+  ref.sorted_degrees = graph::SortedDegreeSequence(g);
+  ref.degree_distribution = stats::DegreeDistribution(g);
+  // One run of the per-node triangle kernel yields the whole clustering
+  // family plus the exact triangle total (sum / 3).
+  graph::ClusteringStats clustering =
+      graph::ComputeClusteringStats(g, analytics_threads);
+  ref.local_clustering = std::move(clustering.local_coefficients);
+  ref.avg_clustering = clustering.avg_local_clustering;
+  ref.global_clustering = clustering.global_clustering;
+  ref.triangles = static_cast<double>(clustering.triangles);
+  ref.edges = static_cast<double>(g.num_edges());
+  ref.degree_assortativity = stats::DegreeAssortativity(g, analytics_threads);
+  ref.attribute_assortativity =
+      stats::AttributeAssortativity(original, analytics_threads);
+  ref.homophily = stats::PerAttributeHomophily(original, analytics_threads);
+  return ref;
+}
+
+ReferenceProfile ProfileReferenceLegacy(
+    const graph::AttributedGraph& original) {
   ReferenceProfile ref;
   const graph::Graph& g = original.structure();
   ref.theta_f = agm::ComputeThetaF(original);
@@ -82,7 +118,70 @@ ReferenceProfile ProfileReference(const graph::AttributedGraph& original) {
 }
 
 UtilityReport EvaluateRelease(const ReferenceProfile& original,
-                              const graph::AttributedGraph& released) {
+                              const graph::AttributedGraph& released,
+                              int analytics_threads) {
+  return EvaluateRelease(original,
+                         graph::AttributedCsrGraph::FromGraph(released),
+                         analytics_threads);
+}
+
+UtilityReport EvaluateRelease(const ReferenceProfile& original,
+                              const graph::AttributedCsrGraph& released,
+                              int analytics_threads) {
+  UtilityReport report;
+  const graph::CsrGraph& g1 = released.structure;
+
+  const ThetaFError theta = CompareThetaF(
+      agm::ComputeThetaF(released, analytics_threads), original.theta_f);
+  report.errors.theta_f_mae = theta.mae;
+  report.errors.theta_f_hellinger = theta.hellinger;
+
+  report.errors.degree_ks = stats::KsStatistic(
+      graph::SortedDegreeSequence(g1), original.sorted_degrees);
+  const std::vector<double> dist1 = stats::DegreeDistribution(g1);
+  report.errors.degree_hellinger =
+      stats::HellingerDistance(dist1, original.degree_distribution);
+  report.degree_kl =
+      stats::KlDivergence(original.degree_distribution, dist1);
+  // sup |F1-F2| over degrees == sup |CCDF1-CCDF2|: reuse the KS statistic.
+  report.degree_ccdf_distance = report.errors.degree_ks;
+
+  // One run of the per-node triangle kernel yields the whole clustering
+  // family plus the exact triangle total (sum / 3).
+  const graph::ClusteringStats clustering =
+      graph::ComputeClusteringStats(g1, analytics_threads);
+  const std::vector<double>& cc1 = clustering.local_coefficients;
+  report.clustering_ccdf_distance =
+      stats::KsDistance(original.local_clustering, cc1);
+  report.errors.avg_clustering_re = stats::RelativeError(
+      clustering.avg_local_clustering, original.avg_clustering);
+  report.errors.global_clustering_re = stats::RelativeError(
+      clustering.global_clustering, original.global_clustering);
+
+  report.errors.triangles_re = stats::RelativeError(
+      static_cast<double>(clustering.triangles), original.triangles);
+  report.errors.edges_re = stats::RelativeError(
+      static_cast<double>(g1.num_edges()), original.edges);
+
+  report.degree_assortativity_delta =
+      stats::DegreeAssortativity(g1, analytics_threads) -
+      original.degree_assortativity;
+  report.attribute_assortativity_delta =
+      stats::AttributeAssortativity(released, analytics_threads) -
+      original.attribute_assortativity;
+
+  const std::vector<double> h1 =
+      stats::PerAttributeHomophily(released, analytics_threads);
+  const size_t w = std::min(original.homophily.size(), h1.size());
+  report.homophily_delta.resize(w);
+  for (size_t a = 0; a < w; ++a) {
+    report.homophily_delta[a] = h1[a] - original.homophily[a];
+  }
+  return report;
+}
+
+UtilityReport EvaluateReleaseLegacy(const ReferenceProfile& original,
+                                    const graph::AttributedGraph& released) {
   UtilityReport report;
   const graph::Graph& g1 = released.structure();
 
@@ -146,18 +245,28 @@ ThetaFError CompareThetaF(std::vector<double> estimate,
 }
 
 StructuralProfile ProfileGraph(const graph::AttributedGraph& g,
-                               uint32_t path_samples, util::Rng& rng) {
+                               uint32_t path_samples, util::Rng& rng,
+                               int analytics_threads) {
+  return ProfileGraph(graph::AttributedCsrGraph::FromGraph(g), path_samples,
+                      rng, analytics_threads);
+}
+
+StructuralProfile ProfileGraph(const graph::AttributedCsrGraph& g,
+                               uint32_t path_samples, util::Rng& rng,
+                               int analytics_threads) {
   StructuralProfile profile;
   if (path_samples > 0) {
     const graph::PathStats paths =
-        graph::EstimatePathStats(g.structure(), path_samples, rng);
+        graph::EstimatePathStats(g.structure, path_samples, rng);
     profile.avg_path_length = paths.avg_path_length;
     profile.effective_diameter = paths.effective_diameter;
     profile.diameter_lower_bound = paths.diameter_lower_bound;
   }
-  profile.degree_assortativity = stats::DegreeAssortativity(g.structure());
-  profile.attribute_assortativity = stats::AttributeAssortativity(g);
-  profile.homophily = stats::PerAttributeHomophily(g);
+  profile.degree_assortativity =
+      stats::DegreeAssortativity(g.structure, analytics_threads);
+  profile.attribute_assortativity =
+      stats::AttributeAssortativity(g, analytics_threads);
+  profile.homophily = stats::PerAttributeHomophily(g, analytics_threads);
   return profile;
 }
 
@@ -166,10 +275,22 @@ std::vector<std::pair<double, double>> DegreeCcdfSeries(const graph::Graph& g,
   return stats::DownsampleCcdf(stats::Ccdf(DegreesAsDoubles(g)), max_points);
 }
 
+std::vector<std::pair<double, double>> DegreeCcdfSeries(
+    const graph::CsrGraph& g, size_t max_points) {
+  return stats::DownsampleCcdf(stats::Ccdf(DegreesAsDoubles(g)), max_points);
+}
+
 std::vector<std::pair<double, double>> ClusteringCcdfSeries(
     const graph::Graph& g, size_t max_points) {
   return stats::DownsampleCcdf(
       stats::Ccdf(graph::LocalClusteringCoefficients(g)), max_points);
+}
+
+std::vector<std::pair<double, double>> ClusteringCcdfSeries(
+    const graph::CsrGraph& g, size_t max_points, int analytics_threads) {
+  return stats::DownsampleCcdf(
+      stats::Ccdf(graph::LocalClusteringCoefficients(g, analytics_threads)),
+      max_points);
 }
 
 }  // namespace agmdp::eval

@@ -18,6 +18,14 @@
 //
 // Everything is a pure function of the two graphs; all heavy lifting is
 // delegated to src/stats and src/graph primitives.
+//
+// The production path runs on immutable CsrGraph snapshots: the
+// AttributedGraph entry points build one AttributedCsrGraph per graph and
+// reuse it across every metric, with the kernels sharded over
+// `analytics_threads` workers (<= 0 selects hardware concurrency; results
+// are bitwise-identical at any thread count). The *Legacy variants keep
+// the original adjacency-list path alive as the cross-check reference for
+// tests and the perf bench — both paths agree exactly, metric for metric.
 #pragma once
 
 #include <cstddef>
@@ -26,6 +34,7 @@
 #include <vector>
 
 #include "src/graph/attributed_graph.h"
+#include "src/graph/csr.h"
 #include "src/stats/summary.h"
 #include "src/util/rng.h"
 
@@ -81,12 +90,32 @@ struct ReferenceProfile {
   std::vector<double> homophily;
 };
 
-/// Profiles the original once for repeated evaluation.
-ReferenceProfile ProfileReference(const graph::AttributedGraph& original);
+/// Profiles the original once for repeated evaluation. The AttributedGraph
+/// entry point snapshots the graph and delegates to the CSR overload.
+ReferenceProfile ProfileReference(const graph::AttributedGraph& original,
+                                  int analytics_threads = 1);
+ReferenceProfile ProfileReference(const graph::AttributedCsrGraph& original,
+                                  int analytics_threads = 1);
+
+/// Adjacency-list reference implementation (tests / perf bench only):
+/// identical output, computed with the mutable-Graph kernels.
+ReferenceProfile ProfileReferenceLegacy(const graph::AttributedGraph& original);
 
 /// Computes the full metric suite against a precomputed original profile.
+/// The AttributedGraph entry point builds one snapshot of the released
+/// graph and reuses it across all metrics.
 UtilityReport EvaluateRelease(const ReferenceProfile& original,
-                              const graph::AttributedGraph& released);
+                              const graph::AttributedGraph& released,
+                              int analytics_threads = 1);
+UtilityReport EvaluateRelease(const ReferenceProfile& original,
+                              const graph::AttributedCsrGraph& released,
+                              int analytics_threads = 1);
+
+/// Adjacency-list reference implementation (tests / perf bench only):
+/// bitwise-identical UtilityReport, computed with the mutable-Graph
+/// kernels.
+UtilityReport EvaluateReleaseLegacy(const ReferenceProfile& original,
+                                    const graph::AttributedGraph& released);
 
 /// One-shot convenience: ProfileReference(original) + the overload above.
 /// The released graph may have a different attribute dimension than the
@@ -123,15 +152,24 @@ struct StructuralProfile {
 
 /// Profiles `g`. Path statistics are estimated from `path_samples` BFS
 /// sources (0 skips them, leaving the path fields at 0 and `rng` untouched).
+/// The AttributedGraph entry point snapshots `g` and delegates.
 StructuralProfile ProfileGraph(const graph::AttributedGraph& g,
-                               uint32_t path_samples, util::Rng& rng);
+                               uint32_t path_samples, util::Rng& rng,
+                               int analytics_threads = 1);
+StructuralProfile ProfileGraph(const graph::AttributedCsrGraph& g,
+                               uint32_t path_samples, util::Rng& rng,
+                               int analytics_threads = 1);
 
 /// Degree CCDF of a graph, downsampled to at most `max_points` (Figure 2).
 std::vector<std::pair<double, double>> DegreeCcdfSeries(const graph::Graph& g,
                                                         size_t max_points);
+std::vector<std::pair<double, double>> DegreeCcdfSeries(
+    const graph::CsrGraph& g, size_t max_points);
 
 /// Local-clustering-coefficient CCDF, downsampled likewise (Figure 3).
 std::vector<std::pair<double, double>> ClusteringCcdfSeries(
     const graph::Graph& g, size_t max_points);
+std::vector<std::pair<double, double>> ClusteringCcdfSeries(
+    const graph::CsrGraph& g, size_t max_points, int analytics_threads = 1);
 
 }  // namespace agmdp::eval

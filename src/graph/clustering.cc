@@ -4,8 +4,15 @@
 
 namespace agmdp::graph {
 
-std::vector<double> LocalClusteringCoefficients(const Graph& g) {
-  std::vector<uint64_t> triangles = PerNodeTriangles(g);
+namespace {
+
+// Shared formula bodies: the Graph and CsrGraph entry points must stay
+// bitwise-identical (DESIGN.md snapshot contract), so each formula exists
+// exactly once, templated over the representation.
+
+template <typename AnyGraph>
+std::vector<double> CoefficientsFromTriangles(
+    const AnyGraph& g, const std::vector<uint64_t>& triangles) {
   std::vector<double> coeffs(g.num_nodes(), 0.0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     uint64_t d = g.Degree(v);
@@ -17,23 +24,21 @@ std::vector<double> LocalClusteringCoefficients(const Graph& g) {
   return coeffs;
 }
 
-double AverageLocalClustering(const Graph& g) {
-  if (g.num_nodes() == 0) return 0.0;
-  std::vector<double> coeffs = LocalClusteringCoefficients(g);
+double MeanCoefficient(const std::vector<double>& coeffs) {
+  if (coeffs.empty()) return 0.0;
   double sum = 0.0;
   for (double c : coeffs) sum += c;
   return sum / static_cast<double>(coeffs.size());
 }
 
-double GlobalClusteringCoefficient(const Graph& g) {
-  uint64_t wedges = CountWedges(g);
+double GlobalFromCounts(uint64_t triangles, uint64_t wedges) {
   if (wedges == 0) return 0.0;
-  return 3.0 * static_cast<double>(CountTriangles(g)) /
-         static_cast<double>(wedges);
+  return 3.0 * static_cast<double>(triangles) / static_cast<double>(wedges);
 }
 
-std::vector<double> DegreeWiseClustering(const Graph& g) {
-  std::vector<double> coeffs = LocalClusteringCoefficients(g);
+template <typename AnyGraph>
+std::vector<double> DegreeWiseFromCoefficients(
+    const AnyGraph& g, const std::vector<double>& coeffs) {
   std::vector<double> sum(g.MaxDegree() + 1, 0.0);
   std::vector<uint64_t> count(g.MaxDegree() + 1, 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -44,6 +49,56 @@ std::vector<double> DegreeWiseClustering(const Graph& g) {
     if (count[d] > 0) sum[d] /= static_cast<double>(count[d]);
   }
   return sum;
+}
+
+}  // namespace
+
+std::vector<double> LocalClusteringCoefficients(const Graph& g) {
+  return CoefficientsFromTriangles(g, PerNodeTriangles(g));
+}
+
+std::vector<double> LocalClusteringCoefficients(const CsrGraph& g,
+                                                int threads) {
+  return CoefficientsFromTriangles(g, PerNodeTriangles(g, threads));
+}
+
+double AverageLocalClustering(const Graph& g) {
+  return MeanCoefficient(LocalClusteringCoefficients(g));
+}
+
+double AverageLocalClustering(const CsrGraph& g, int threads) {
+  return MeanCoefficient(LocalClusteringCoefficients(g, threads));
+}
+
+double GlobalClusteringCoefficient(const Graph& g) {
+  return GlobalFromCounts(CountTriangles(g), CountWedges(g));
+}
+
+double GlobalClusteringCoefficient(const CsrGraph& g, int threads) {
+  return GlobalFromCounts(CountTriangles(g, threads), CountWedges(g));
+}
+
+std::vector<double> DegreeWiseClustering(const Graph& g) {
+  return DegreeWiseFromCoefficients(g, LocalClusteringCoefficients(g));
+}
+
+std::vector<double> DegreeWiseClustering(const CsrGraph& g, int threads) {
+  return DegreeWiseFromCoefficients(g,
+                                    LocalClusteringCoefficients(g, threads));
+}
+
+ClusteringStats ComputeClusteringStats(const CsrGraph& g, int threads) {
+  ClusteringStats stats;
+  stats.per_node_triangles = PerNodeTriangles(g, threads);
+  stats.local_coefficients =
+      CoefficientsFromTriangles(g, stats.per_node_triangles);
+  uint64_t corner_sum = 0;
+  for (uint64_t t : stats.per_node_triangles) corner_sum += t;
+  stats.triangles = corner_sum / 3;  // each triangle has three corners
+  stats.wedges = CountWedges(g);
+  stats.avg_local_clustering = MeanCoefficient(stats.local_coefficients);
+  stats.global_clustering = GlobalFromCounts(stats.triangles, stats.wedges);
+  return stats;
 }
 
 }  // namespace agmdp::graph

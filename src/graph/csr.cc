@@ -1,0 +1,66 @@
+#include "src/graph/csr.h"
+
+#include <algorithm>
+
+namespace agmdp::graph {
+
+CsrGraph CsrGraph::FromGraph(const Graph& g) {
+  const NodeId n = g.num_nodes();
+  CsrGraph csr;
+  csr.num_edges_ = g.num_edges();
+  csr.offsets_.resize(static_cast<size_t>(n) + 1, 0);
+  csr.degrees_.resize(n);
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t d = g.Degree(v);
+    csr.degrees_[v] = d;
+    csr.offsets_[v + 1] = csr.offsets_[v] + d;
+    csr.max_degree_ = std::max(csr.max_degree_, d);
+  }
+  csr.neighbors_.resize(csr.offsets_[n]);
+  for (NodeId v = 0; v < n; ++v) {
+    const std::vector<NodeId>& adj = g.Neighbors(v);
+    NodeId* out = csr.neighbors_.data() + csr.offsets_[v];
+    std::copy(adj.begin(), adj.end(), out);
+    std::sort(out, out + adj.size());
+  }
+  return csr;
+}
+
+bool CsrGraph::HasEdge(NodeId u, NodeId v) const {
+  if (u == v || u >= num_nodes() || v >= num_nodes()) return false;
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  const NeighborRange range = Neighbors(u);
+  return std::binary_search(range.begin(), range.end(), v);
+}
+
+uint32_t CsrGraph::CommonNeighborCount(NodeId u, NodeId v) const {
+  const NeighborRange a = Neighbors(u);
+  const NeighborRange b = Neighbors(v);
+  const NodeId* i = a.begin();
+  const NodeId* j = b.begin();
+  uint32_t count = 0;
+  // Neither range contains u or v (simple graph), so the intersection is
+  // exactly the common-neighbor set.
+  while (i != a.end() && j != b.end()) {
+    if (*i < *j) {
+      ++i;
+    } else if (*j < *i) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+AttributedCsrGraph AttributedCsrGraph::FromGraph(const AttributedGraph& g) {
+  AttributedCsrGraph snapshot;
+  snapshot.structure = CsrGraph::FromGraph(g.structure());
+  snapshot.attributes = g.attributes();
+  snapshot.num_attributes = g.num_attributes();
+  return snapshot;
+}
+
+}  // namespace agmdp::graph

@@ -1,0 +1,109 @@
+// Immutable CSR (compressed sparse row) snapshot of a Graph.
+//
+// The mutable adjacency-list Graph is tuned for TriCycLe's edge churn
+// (O(1) random neighbor sampling, hash-set edge oracle, swap-erase
+// removal); every utility metric, however, is computed on an *immutable*
+// released graph, where pointer-chasing vectors and hash probes dominate
+// the cost of full-scale sweeps. CsrGraph trades all mutability for two
+// contiguous arrays — offsets and sorted neighbor ranges — giving
+// cache-friendly sequential scans, O(log d) HasEdge via binary search, and
+// merge-join set intersections on sorted ranges instead of hash probes.
+//
+// Usage contract: build one snapshot per released graph
+// (CsrGraph::FromGraph), hand it to every analytics kernel, and keep the
+// mutable Graph only for generation. The snapshot is a value type; copying
+// copies the arrays.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/attributed_graph.h"
+#include "src/graph/graph.h"
+
+namespace agmdp::graph {
+
+/// Contiguous, ascending-sorted neighbor range of one node.
+struct NeighborRange {
+  const NodeId* first = nullptr;
+  const NodeId* last = nullptr;
+
+  const NodeId* begin() const { return first; }
+  const NodeId* end() const { return last; }
+  size_t size() const { return static_cast<size_t>(last - first); }
+  bool empty() const { return first == last; }
+};
+
+/// \brief Immutable CSR snapshot of an undirected simple graph.
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+
+  /// Builds the snapshot: one pass over the adjacency lists plus a sort of
+  /// each neighbor range (ascending by node id).
+  static CsrGraph FromGraph(const Graph& g);
+
+  NodeId num_nodes() const {
+    return offsets_.empty() ? 0 : static_cast<NodeId>(offsets_.size() - 1);
+  }
+  uint64_t num_edges() const { return num_edges_; }
+
+  uint32_t Degree(NodeId v) const { return degrees_[v]; }
+  /// Precomputed degree array, indexed by node id.
+  const std::vector<uint32_t>& degrees() const { return degrees_; }
+  uint32_t MaxDegree() const { return max_degree_; }
+
+  /// Sorted neighbor range of v.
+  NeighborRange Neighbors(NodeId v) const {
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// O(log d) membership test: binary search in the smaller endpoint's
+  /// sorted neighbor range. Same domain semantics as Graph::HasEdge
+  /// (self-loops and out-of-range endpoints are absent).
+  bool HasEdge(NodeId u, NodeId v) const;
+
+  /// |Γ(u) ∩ Γ(v)| via a merge-join of the two sorted ranges — the number
+  /// of triangles through the edge {u, v}. Agrees exactly with
+  /// Graph::CommonNeighborCount.
+  uint32_t CommonNeighborCount(NodeId u, NodeId v) const;
+
+  /// Invokes fn(u, v) once per edge with u < v, in canonical
+  /// (lexicographically sorted) order — CSR neighbor ranges are sorted, so
+  /// the forward scan *is* the canonical order.
+  template <typename Fn>
+  void ForEachEdge(Fn&& fn) const {
+    const NodeId n = num_nodes();
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v : Neighbors(u)) {
+        if (v > u) fn(u, v);
+      }
+    }
+  }
+
+ private:
+  std::vector<uint64_t> offsets_;   // n + 1 range bounds into neighbors_
+  std::vector<NodeId> neighbors_;   // 2m endpoints, sorted within a node
+  std::vector<uint32_t> degrees_;   // offsets_[v+1] - offsets_[v], cached
+  uint32_t max_degree_ = 0;
+  uint64_t num_edges_ = 0;
+};
+
+/// \brief Immutable attributed snapshot: CSR structure plus the node
+/// attribute vector (already contiguous in AttributedGraph; copied so the
+/// snapshot owns everything it reads).
+struct AttributedCsrGraph {
+  static AttributedCsrGraph FromGraph(const AttributedGraph& g);
+
+  CsrGraph structure;
+  std::vector<AttrConfig> attributes;
+  int num_attributes = 0;
+
+  NodeId num_nodes() const { return structure.num_nodes(); }
+  uint64_t num_edges() const { return structure.num_edges(); }
+  AttrConfig attribute(NodeId v) const { return attributes[v]; }
+};
+
+}  // namespace agmdp::graph

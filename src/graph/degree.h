@@ -1,25 +1,33 @@
 // Degree sequences, histograms and summary statistics.
+//
+// Each function has a CsrGraph overload that returns exactly the same
+// values (the snapshot caches the degree array, so those are plain reads).
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 
 namespace agmdp::graph {
 
 /// Degree of every node, indexed by node id.
 std::vector<uint32_t> DegreeSequence(const Graph& g);
+std::vector<uint32_t> DegreeSequence(const CsrGraph& g);
 
 /// Degree sequence sorted ascending (the paper's S, sorted for constrained
 /// inference).
 std::vector<uint32_t> SortedDegreeSequence(const Graph& g);
+std::vector<uint32_t> SortedDegreeSequence(const CsrGraph& g);
 
 /// Histogram over degree values: hist[d] = number of nodes with degree d,
 /// length MaxDegree + 1 (length 1 for edgeless graphs).
 std::vector<uint64_t> DegreeHistogram(const Graph& g);
+std::vector<uint64_t> DegreeHistogram(const CsrGraph& g);
 
 /// Average degree 2m/n (0 for empty graphs).
 double AverageDegree(const Graph& g);
+double AverageDegree(const CsrGraph& g);
 
 }  // namespace agmdp::graph

@@ -1,22 +1,21 @@
 #include "src/stats/assortativity.h"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <vector>
+
+#include "src/util/parallel.h"
 
 namespace agmdp::stats {
 
-double DegreeAssortativity(const graph::Graph& g) {
-  if (g.num_edges() == 0) return 0.0;
-  // Pearson correlation over the 2m ordered endpoint pairs; accumulate
-  // symmetric sums in one pass over edges.
-  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
-  g.ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
-    const double du = g.Degree(u), dv = g.Degree(v);
-    sum_xy += 2.0 * du * dv;
-    sum_x += du + dv;
-    sum_x2 += du * du + dv * dv;
-  });
-  const double count = 2.0 * static_cast<double>(g.num_edges());
+namespace {
+
+// Shared tail of both DegreeAssortativity paths: Pearson correlation over
+// the 2m ordered endpoint pairs from the three accumulated sums.
+double PearsonFromSums(double sum_xy, double sum_x, double sum_x2,
+                       uint64_t num_edges) {
+  const double count = 2.0 * static_cast<double>(num_edges);
   const double mean = sum_x / count;
   const double var = sum_x2 / count - mean * mean;
   if (var <= 0.0) return 0.0;
@@ -24,20 +23,9 @@ double DegreeAssortativity(const graph::Graph& g) {
   return cov / var;
 }
 
-double AttributeAssortativity(const graph::AttributedGraph& g) {
-  if (g.num_edges() == 0) return 0.0;
-  const uint32_t k = graph::NumNodeConfigs(g.num_attributes());
-  // Mixing matrix e[a][b]: fraction of (ordered) edge endpoints with
-  // configurations a and b.
-  std::vector<double> mixing(static_cast<size_t>(k) * k, 0.0);
-  g.structure().ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
-    const graph::AttrConfig a = g.attribute(u), b = g.attribute(v);
-    mixing[static_cast<size_t>(a) * k + b] += 1.0;
-    mixing[static_cast<size_t>(b) * k + a] += 1.0;
-  });
-  const double total = 2.0 * static_cast<double>(g.num_edges());
-  for (double& x : mixing) x /= total;
-
+// Shared tail of both AttributeAssortativity paths: Newman's coefficient
+// from the integer-valued (exact) mixing tallies over ordered endpoints.
+double NewmanFromMixing(const std::vector<double>& mixing, uint32_t k) {
   double trace = 0.0, squared = 0.0;
   for (uint32_t a = 0; a < k; ++a) {
     trace += mixing[static_cast<size_t>(a) * k + a];
@@ -51,6 +39,118 @@ double AttributeAssortativity(const graph::AttributedGraph& g) {
   return (trace - squared) / (1.0 - squared);
 }
 
+}  // namespace
+
+double DegreeAssortativity(const graph::Graph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  const graph::NodeId n = g.num_nodes();
+  // Summation contract (see header): per-source-node partials over sorted
+  // forward neighbors, reduced in node order.
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  std::vector<graph::NodeId> forward;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    forward.clear();
+    for (graph::NodeId v : g.Neighbors(u)) {
+      if (v > u) forward.push_back(v);
+    }
+    std::sort(forward.begin(), forward.end());
+    const double du = g.Degree(u);
+    double pxy = 0.0, px = 0.0, px2 = 0.0;
+    for (graph::NodeId v : forward) {
+      const double dv = g.Degree(v);
+      pxy += 2.0 * du * dv;
+      px += du + dv;
+      px2 += du * du + dv * dv;
+    }
+    sum_xy += pxy;
+    sum_x += px;
+    sum_x2 += px2;
+  }
+  return PearsonFromSums(sum_xy, sum_x, sum_x2, g.num_edges());
+}
+
+double DegreeAssortativity(const graph::CsrGraph& g, int threads) {
+  if (g.num_edges() == 0) return 0.0;
+  const graph::NodeId n = g.num_nodes();
+  // Per-node partials are written by exactly one worker; the node-order
+  // reduce below matches the Graph path's chain exactly.
+  std::vector<double> pxy(n), px(n), px2(n);
+  util::ParallelNodeRanges(n, threads, [&](uint64_t begin, uint64_t end) {
+    for (uint64_t ui = begin; ui < end; ++ui) {
+      const auto u = static_cast<graph::NodeId>(ui);
+      const double du = g.Degree(u);
+      const graph::NeighborRange range = g.Neighbors(u);
+      double a = 0.0, b = 0.0, c = 0.0;
+      for (const graph::NodeId* v =
+               std::upper_bound(range.begin(), range.end(), u);
+           v != range.end(); ++v) {
+        const double dv = g.Degree(*v);
+        a += 2.0 * du * dv;
+        b += du + dv;
+        c += du * du + dv * dv;
+      }
+      pxy[ui] = a;
+      px[ui] = b;
+      px2[ui] = c;
+    }
+  });
+  double sum_xy = 0.0, sum_x = 0.0, sum_x2 = 0.0;
+  for (graph::NodeId u = 0; u < n; ++u) {
+    sum_xy += pxy[u];
+    sum_x += px[u];
+    sum_x2 += px2[u];
+  }
+  return PearsonFromSums(sum_xy, sum_x, sum_x2, g.num_edges());
+}
+
+double AttributeAssortativity(const graph::AttributedGraph& g) {
+  if (g.num_edges() == 0) return 0.0;
+  const uint32_t k = graph::NumNodeConfigs(g.num_attributes());
+  // Mixing matrix e[a][b]: fraction of (ordered) edge endpoints with
+  // configurations a and b. The tallies are integer-valued, hence exact.
+  std::vector<double> mixing(static_cast<size_t>(k) * k, 0.0);
+  g.structure().ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    const graph::AttrConfig a = g.attribute(u), b = g.attribute(v);
+    mixing[static_cast<size_t>(a) * k + b] += 1.0;
+    mixing[static_cast<size_t>(b) * k + a] += 1.0;
+  });
+  const double total = 2.0 * static_cast<double>(g.num_edges());
+  for (double& x : mixing) x /= total;
+  return NewmanFromMixing(mixing, k);
+}
+
+double AttributeAssortativity(const graph::AttributedCsrGraph& g,
+                              int threads) {
+  if (g.num_edges() == 0) return 0.0;
+  const uint32_t k = graph::NumNodeConfigs(g.num_attributes);
+  const graph::NodeId n = g.num_nodes();
+  // Integer tallies merge order-free, so per-worker buffers reduce to the
+  // same counts at any thread count.
+  std::vector<uint64_t> counts(static_cast<size_t>(k) * k, 0);
+  util::ParallelTally(
+      n, threads, [&] { return std::vector<uint64_t>(counts.size(), 0); },
+      [&](std::vector<uint64_t>& local, uint64_t begin, uint64_t end) {
+        for (uint64_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<graph::NodeId>(ui);
+          for (graph::NodeId v : g.structure.Neighbors(u)) {
+            if (v <= u) continue;
+            const graph::AttrConfig a = g.attribute(u), b = g.attribute(v);
+            ++local[static_cast<size_t>(a) * k + b];
+            ++local[static_cast<size_t>(b) * k + a];
+          }
+        }
+      },
+      [&](const std::vector<uint64_t>& local) {
+        for (size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
+      });
+  const double total = 2.0 * static_cast<double>(g.num_edges());
+  std::vector<double> mixing(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    mixing[i] = static_cast<double>(counts[i]) / total;
+  }
+  return NewmanFromMixing(mixing, k);
+}
+
 std::vector<double> PerAttributeHomophily(const graph::AttributedGraph& g) {
   std::vector<double> same(static_cast<size_t>(g.num_attributes()), 0.0);
   if (g.num_edges() == 0 || g.num_attributes() == 0) return same;
@@ -62,6 +162,38 @@ std::vector<double> PerAttributeHomophily(const graph::AttributedGraph& g) {
   });
   const double m = static_cast<double>(g.num_edges());
   for (double& x : same) x /= m;
+  return same;
+}
+
+std::vector<double> PerAttributeHomophily(const graph::AttributedCsrGraph& g,
+                                          int threads) {
+  const auto w = static_cast<size_t>(g.num_attributes);
+  std::vector<double> same(w, 0.0);
+  if (g.num_edges() == 0 || w == 0) return same;
+  const graph::NodeId n = g.num_nodes();
+  std::vector<uint64_t> counts(w, 0);
+  util::ParallelTally(
+      n, threads, [&] { return std::vector<uint64_t>(w, 0); },
+      [&](std::vector<uint64_t>& local, uint64_t begin, uint64_t end) {
+        for (uint64_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<graph::NodeId>(ui);
+          for (graph::NodeId v : g.structure.Neighbors(u)) {
+            if (v <= u) continue;
+            const graph::AttrConfig agree =
+                ~(g.attribute(u) ^ g.attribute(v));
+            for (size_t a = 0; a < w; ++a) {
+              if ((agree >> a) & 1u) ++local[a];
+            }
+          }
+        }
+      },
+      [&](const std::vector<uint64_t>& local) {
+        for (size_t a = 0; a < w; ++a) counts[a] += local[a];
+      });
+  const double m = static_cast<double>(g.num_edges());
+  for (size_t a = 0; a < w; ++a) {
+    same[a] = static_cast<double>(counts[a]) / m;
+  }
   return same;
 }
 

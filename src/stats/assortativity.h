@@ -3,11 +3,20 @@
 // ΘF models) is exactly positive attribute assortativity, so these are the
 // natural held-out statistics for judging whether AGM-DP preserved the
 // correlations it never directly optimized.
+//
+// Summation contract (shared by the Graph and CsrGraph paths so they agree
+// bitwise): floating-point edge terms accumulate into a per-source-node
+// partial over the node's ascending-sorted forward neighbors, and the
+// partials reduce sequentially in node order. The CsrGraph overloads
+// parallelize the per-node partials over `threads` workers (<= 0 selects
+// hardware concurrency); mixing-matrix and homophily tallies are integers,
+// so any partition reduces to the same result.
 #pragma once
 
 #include <vector>
 
 #include "src/graph/attributed_graph.h"
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 
 namespace agmdp::stats {
@@ -15,16 +24,21 @@ namespace agmdp::stats {
 /// Pearson correlation of endpoint degrees over edges, in [-1, 1]. Returns
 /// 0 for degenerate graphs (no edges / constant degrees).
 double DegreeAssortativity(const graph::Graph& g);
+double DegreeAssortativity(const graph::CsrGraph& g, int threads = 1);
 
 /// Newman's discrete assortativity for the node attribute configuration:
 /// (tr(e) - sum(e^2)) / (1 - sum(e^2)) where e is the normalized mixing
 /// matrix over edges. 1 = perfect homophily, 0 = no correlation, negative =
 /// heterophily. Returns 0 for edgeless graphs or single-category mixes.
 double AttributeAssortativity(const graph::AttributedGraph& g);
+double AttributeAssortativity(const graph::AttributedCsrGraph& g,
+                              int threads = 1);
 
 /// Per-attribute homophily: for each of the w attribute bits, the fraction
 /// of edges whose endpoints agree on that bit. Length num_attributes();
 /// every entry is 0 for edgeless graphs.
 std::vector<double> PerAttributeHomophily(const graph::AttributedGraph& g);
+std::vector<double> PerAttributeHomophily(const graph::AttributedCsrGraph& g,
+                                          int threads = 1);
 
 }  // namespace agmdp::stats

@@ -2,25 +2,16 @@
 
 #include <cmath>
 
+#include "src/util/parallel.h"
+
 namespace agmdp::stats {
 
-std::map<std::pair<uint32_t, uint32_t>, double> JointDegreeDistribution(
-    const graph::Graph& g) {
-  std::map<std::pair<uint32_t, uint32_t>, double> dist;
-  if (g.num_edges() == 0) return dist;
-  g.ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
-    uint32_t du = g.Degree(u), dv = g.Degree(v);
-    if (du > dv) std::swap(du, dv);
-    dist[{du, dv}] += 1.0;
-  });
-  const double m = static_cast<double>(g.num_edges());
-  for (auto& [key, mass] : dist) mass /= m;
-  return dist;
-}
+namespace {
 
-double JointDegreeDistance(const graph::Graph& a, const graph::Graph& b) {
-  const auto pa = JointDegreeDistribution(a);
-  const auto pb = JointDegreeDistribution(b);
+using JointDegreeMap = std::map<std::pair<uint32_t, uint32_t>, double>;
+
+// Shared tail: Hellinger distance between two sorted-support mass maps.
+double HellingerOfMaps(const JointDegreeMap& pa, const JointDegreeMap& pb) {
   double sum = 0.0;
   auto ia = pa.begin();
   auto ib = pb.begin();
@@ -39,6 +30,62 @@ double JointDegreeDistance(const graph::Graph& a, const graph::Graph& b) {
     sum += d * d;
   }
   return std::sqrt(sum) / std::sqrt(2.0);
+}
+
+}  // namespace
+
+JointDegreeMap JointDegreeDistribution(const graph::Graph& g) {
+  JointDegreeMap dist;
+  if (g.num_edges() == 0) return dist;
+  g.ForEachEdge([&](graph::NodeId u, graph::NodeId v) {
+    uint32_t du = g.Degree(u), dv = g.Degree(v);
+    if (du > dv) std::swap(du, dv);
+    dist[{du, dv}] += 1.0;
+  });
+  const double m = static_cast<double>(g.num_edges());
+  for (auto& [key, mass] : dist) mass /= m;
+  return dist;
+}
+
+JointDegreeMap JointDegreeDistribution(const graph::CsrGraph& g,
+                                       int threads) {
+  JointDegreeMap dist;
+  if (g.num_edges() == 0) return dist;
+  const graph::NodeId n = g.num_nodes();
+  using CountMap = std::map<std::pair<uint32_t, uint32_t>, uint64_t>;
+  CountMap counts;
+  util::ParallelTally(
+      n, threads, [] { return CountMap(); },
+      [&](CountMap& local, uint64_t begin, uint64_t end) {
+        for (uint64_t ui = begin; ui < end; ++ui) {
+          const auto u = static_cast<graph::NodeId>(ui);
+          for (graph::NodeId v : g.Neighbors(u)) {
+            if (v <= u) continue;
+            uint32_t du = g.Degree(u), dv = g.Degree(v);
+            if (du > dv) std::swap(du, dv);
+            ++local[{du, dv}];
+          }
+        }
+      },
+      [&](const CountMap& local) {
+        for (const auto& [key, count] : local) counts[key] += count;
+      });
+  const double m = static_cast<double>(g.num_edges());
+  for (const auto& [key, count] : counts) {
+    dist[key] = static_cast<double>(count) / m;
+  }
+  return dist;
+}
+
+double JointDegreeDistance(const graph::Graph& a, const graph::Graph& b) {
+  return HellingerOfMaps(JointDegreeDistribution(a),
+                         JointDegreeDistribution(b));
+}
+
+double JointDegreeDistance(const graph::CsrGraph& a, const graph::CsrGraph& b,
+                           int threads) {
+  return HellingerOfMaps(JointDegreeDistribution(a, threads),
+                         JointDegreeDistribution(b, threads));
 }
 
 }  // namespace agmdp::stats

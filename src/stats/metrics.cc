@@ -92,7 +92,12 @@ double KlDivergence(std::vector<double> p, std::vector<double> q,
   return kl;
 }
 
-std::vector<double> DegreeDistribution(const graph::Graph& g) {
+namespace {
+
+// Shared body: the Graph and CsrGraph entry points must not drift apart
+// (DESIGN.md snapshot contract).
+template <typename AnyGraph>
+std::vector<double> DegreeDistributionImpl(const AnyGraph& g) {
   std::vector<uint64_t> hist = graph::DegreeHistogram(g);
   std::vector<double> dist(hist.size(), 0.0);
   const double n = static_cast<double>(g.num_nodes());
@@ -101,6 +106,16 @@ std::vector<double> DegreeDistribution(const graph::Graph& g) {
     dist[d] = static_cast<double>(hist[d]) / n;
   }
   return dist;
+}
+
+}  // namespace
+
+std::vector<double> DegreeDistribution(const graph::Graph& g) {
+  return DegreeDistributionImpl(g);
+}
+
+std::vector<double> DegreeDistribution(const graph::CsrGraph& g) {
+  return DegreeDistributionImpl(g);
 }
 
 double DegreeHellinger(const graph::Graph& a, const graph::Graph& b) {

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 
 namespace agmdp::stats {
@@ -44,6 +45,7 @@ double KlDivergence(std::vector<double> p, std::vector<double> q,
 
 /// Normalized degree histogram of a graph (mass at each degree value).
 std::vector<double> DegreeDistribution(const graph::Graph& g);
+std::vector<double> DegreeDistribution(const graph::CsrGraph& g);
 
 /// Hellinger distance between the degree distributions of two graphs (the
 /// paper's H_S).

@@ -22,6 +22,21 @@ GraphSummary Summarize(const graph::Graph& g) {
   return s;
 }
 
+GraphSummary Summarize(const graph::CsrGraph& g, int threads) {
+  GraphSummary s;
+  s.num_nodes = g.num_nodes();
+  s.num_edges = g.num_edges();
+  s.max_degree = g.MaxDegree();
+  s.avg_degree = graph::AverageDegree(g);
+  // One run of the per-node triangle kernel serves all three statistics.
+  const graph::ClusteringStats clustering =
+      graph::ComputeClusteringStats(g, threads);
+  s.triangles = clustering.triangles;
+  s.avg_local_clustering = clustering.avg_local_clustering;
+  s.global_clustering = clustering.global_clustering;
+  return s;
+}
+
 std::string FormatSummary(const std::string& name, const GraphSummary& s) {
   char buffer[256];
   std::snprintf(buffer, sizeof(buffer),

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "src/graph/attributed_graph.h"
+#include "src/graph/csr.h"
 #include "src/graph/graph.h"
 
 namespace agmdp::stats {
@@ -21,6 +22,9 @@ struct GraphSummary {
 };
 
 GraphSummary Summarize(const graph::Graph& g);
+/// Snapshot path: identical values, with the triangle work parallelized
+/// over `threads` workers (<= 0 selects hardware concurrency).
+GraphSummary Summarize(const graph::CsrGraph& g, int threads = 1);
 
 /// Fixed-width single-line rendering, e.g. for Table 6 style output.
 std::string FormatSummary(const std::string& name, const GraphSummary& s);

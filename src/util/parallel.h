@@ -1,0 +1,67 @@
+// Deterministic static parallelism for the read-only analytics kernels.
+//
+// The contract (DESIGN.md "The snapshot layer"): work is split into
+// contiguous ranges of [0, n); every output slot is written by exactly one
+// range, and floating-point reductions happen OUTSIDE this helper,
+// sequentially, in a fixed order — so kernel results are bitwise-identical
+// at any thread count. No util::Rng is involved anywhere on this path.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace agmdp::util {
+
+/// Resolves a thread-count request: any value <= 0 selects the hardware
+/// concurrency (minimum 1); positive values are returned as-is.
+inline int ResolveThreadCount(int threads) {
+  if (threads > 0) return threads;
+  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+}
+
+/// Invokes fn(begin, end) over contiguous ranges covering [0, n), on up to
+/// `threads` workers (resolved via ResolveThreadCount; capped at n). fn must
+/// only write to slots its range owns, or accumulate into order-insensitive
+/// (integer) totals; it runs inline when one worker suffices.
+template <typename Fn>
+void ParallelNodeRanges(uint64_t n, int threads, Fn&& fn) {
+  const uint64_t workers =
+      std::min<uint64_t>(static_cast<uint64_t>(ResolveThreadCount(threads)), n);
+  if (workers <= 1) {
+    if (n > 0) fn(uint64_t{0}, n);
+    return;
+  }
+  const uint64_t chunk = (n + workers - 1) / workers;
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (uint64_t w = 1; w < workers; ++w) {
+    const uint64_t begin = w * chunk;
+    const uint64_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    pool.emplace_back([begin, end, &fn] { fn(begin, end); });
+  }
+  fn(uint64_t{0}, std::min(n, chunk));
+  for (std::thread& worker : pool) worker.join();
+}
+
+/// Per-worker tallies merged under one lock: every worker range builds
+/// `make_local()`, fills it via `body(local, begin, end)`, and `merge(local)`
+/// folds it into the caller's shared total — the lock lives here, so tally
+/// kernels cannot forget it. Integer tallies merge order-insensitively,
+/// making the result identical at any thread count.
+template <typename MakeLocal, typename Body, typename Merge>
+void ParallelTally(uint64_t n, int threads, MakeLocal&& make_local,
+                   Body&& body, Merge&& merge) {
+  std::mutex merge_mutex;
+  ParallelNodeRanges(n, threads, [&](uint64_t begin, uint64_t end) {
+    auto local = make_local();
+    body(local, begin, end);
+    const std::lock_guard<std::mutex> lock(merge_mutex);
+    merge(local);
+  });
+}
+
+}  // namespace agmdp::util

@@ -19,14 +19,16 @@
 //              [--threads=T]
 //              fit + sample in one step, with stage timings.
 //   models     List the registered structural models.
-//   stats      --in=PREFIX
-//              Structural summary, assortativity and path statistics.
-//   evaluate   --in=PREFIX --synthetic=PREFIX2
-//              The full utility metric suite (src/eval) between two graphs.
+//   stats      --in=PREFIX [--analytics-threads=T]
+//              Structural summary, assortativity and path statistics,
+//              computed on an immutable CsrGraph snapshot.
+//   evaluate   --in=PREFIX --synthetic=PREFIX2 [--analytics-threads=T]
+//              The full utility metric suite (src/eval) between two graphs
+//              (one CsrGraph snapshot per side, reused by every metric).
 //   sweep      --datasets=lastfm,petster --models=fcl,tricycle
 //              --eps=0.2,0.69,1.1 [--repeats=3] [--scale=0.1] [--seed=1]
 //              [--threads=1] [--sampler-threads=1] [--accept_iters=2]
-//              [--out=BENCH_sweep.json] [--no-timing]
+//              [--analytics-threads=1] [--out=BENCH_sweep.json] [--no-timing]
 //              Run the multi-scenario sweep engine over the dataset × model
 //              × epsilon grid (repeats fully accounted releases per cell,
 //              deterministic per-cell RNG substreams, cells parallelized
@@ -48,6 +50,7 @@
 #include "src/datasets/datasets.h"
 #include "src/eval/sweep_engine.h"
 #include "src/eval/utility_report.h"
+#include "src/graph/csr.h"
 #include "src/graph/graph_io.h"
 #include "src/graph/paths.h"
 #include "src/pipeline/release_pipeline.h"
@@ -122,8 +125,9 @@ int CmdGenerate(const util::Flags& flags) {
     return Fail(st);
   }
   std::printf("%s\n",
-              stats::FormatSummary(out, stats::Summarize(
-                                            g.value().structure()))
+              stats::FormatSummary(
+                  out, stats::Summarize(graph::CsrGraph::FromGraph(
+                           g.value().structure())))
                   .c_str());
   return 0;
 }
@@ -158,8 +162,9 @@ int CmdSample(const util::Flags& flags) {
     return Fail(st);
   }
   std::printf("%s\n",
-              stats::FormatSummary(out, stats::Summarize(
-                                            g.value().structure()))
+              stats::FormatSummary(
+                  out, stats::Summarize(graph::CsrGraph::FromGraph(
+                           g.value().structure())))
                   .c_str());
   return 0;
 }
@@ -178,7 +183,8 @@ int CmdSynthesize(const util::Flags& flags) {
   }
   std::printf("%s\n",
               stats::FormatSummary(
-                  out, stats::Summarize(result.value().graph.structure()))
+                  out, stats::Summarize(graph::CsrGraph::FromGraph(
+                           result.value().graph.structure())))
                   .c_str());
   std::printf("budget ledger:\n");
   PrintLedger(result.value().ledger, result.value().epsilon_budget);
@@ -201,13 +207,20 @@ int CmdStats(const util::Flags& flags) {
   auto input = LoadInput(flags, "in");
   if (!input.ok()) return Fail(input.status());
   const graph::AttributedGraph& g = input.value();
-  std::printf("%s\n", stats::FormatSummary(
-                          flags.GetString("in", ""),
-                          stats::Summarize(g.structure()))
-                          .c_str());
+  const int analytics_threads =
+      static_cast<int>(flags.GetInt("analytics-threads", 1));
+  // One immutable snapshot serves the summary and the structural profile.
+  const graph::AttributedCsrGraph snapshot =
+      graph::AttributedCsrGraph::FromGraph(g);
+  std::printf("%s\n",
+              stats::FormatSummary(
+                  flags.GetString("in", ""),
+                  stats::Summarize(snapshot.structure, analytics_threads))
+                  .c_str());
   util::Rng rng(flags.GetInt("seed", 1));
   const eval::StructuralProfile profile = eval::ProfileGraph(
-      g, static_cast<uint32_t>(flags.GetInt("bfs_samples", 64)), rng);
+      snapshot, static_cast<uint32_t>(flags.GetInt("bfs_samples", 64)), rng,
+      analytics_threads);
   std::printf("degree assortativity:    %+.4f\n",
               profile.degree_assortativity);
   std::printf("attribute assortativity: %+.4f\n",
@@ -226,11 +239,20 @@ int CmdEvaluate(const util::Flags& flags) {
   if (!input.ok()) return Fail(input.status());
   auto synthetic = LoadInput(flags, "synthetic");
   if (!synthetic.ok()) return Fail(synthetic.status());
+  const int analytics_threads =
+      static_cast<int>(flags.GetInt("analytics-threads", 1));
+  // One immutable snapshot per side, reused across every metric.
+  const graph::AttributedCsrGraph original =
+      graph::AttributedCsrGraph::FromGraph(input.value());
+  const graph::AttributedCsrGraph released =
+      graph::AttributedCsrGraph::FromGraph(synthetic.value());
   const eval::UtilityReport report =
-      eval::EvaluateRelease(input.value(), synthetic.value());
+      eval::EvaluateRelease(eval::ProfileReference(original, analytics_threads),
+                            released, analytics_threads);
   std::printf("dK-2 Hellinger    %.4f\n",
-              stats::JointDegreeDistance(input.value().structure(),
-                                         synthetic.value().structure()));
+              stats::JointDegreeDistance(original.structure,
+                                         released.structure,
+                                         analytics_threads));
   for (const auto& [name, value] : report.Flatten()) {
     std::printf("%-28s %+.4f\n", name.c_str(), value);
   }
@@ -251,6 +273,8 @@ int CmdSweep(const util::Flags& flags) {
       static_cast<int>(flags.GetInt("sampler-threads", 1));
   spec.acceptance_iterations =
       static_cast<int>(flags.GetInt("accept_iters", 2));
+  spec.analytics_threads =
+      static_cast<int>(flags.GetInt("analytics-threads", 1));
 
   auto result = eval::RunSweepOnDatasets(spec);
   if (!result.ok()) return Fail(result.status());

@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Compare a fresh BENCH_perf.json against the committed baseline.
+
+Usage: check_perf_regression.py FRESH BASELINE [--tolerance=3.0]
+
+Fails (exit 1) when any timing shared by both documents blew up by more
+than the tolerance factor, or when a correctness flag regressed. The
+tolerance is deliberately generous: the baseline is recorded on whatever
+machine cut the commit, CI runs on whatever runner GitHub hands out, and
+only order-of-magnitude blowups are actionable from CI. Timings are every
+numeric leaf under a key containing "seconds"; near-zero baselines
+(< 0.5 ms) are skipped as pure noise. hardware_concurrency is echoed from
+both documents so speedup numbers are interpretable (a 1-core container
+cannot show parallel speedup).
+
+Only the Python standard library is used.
+"""
+
+import json
+import sys
+
+# Timings faster than this are dominated by scheduler noise, not work.
+MIN_BASELINE_SECONDS = 5e-4
+
+REQUIRED_TRUE_FLAGS = ["sampler_deterministic_1_2_4", "csr_deterministic_1_2_4"]
+REQUIRED_KEYS = ["hardware_concurrency", "csr_analytics_seconds"]
+
+# The headline property, gated machine-independently: both paths are timed
+# on the same runner in the same process, so CSR triangle+clustering must
+# beat the adjacency-list path regardless of runner hardware. The margin
+# below 1.0 absorbs scheduling noise on shared runners (the real ratio is
+# ~2x; a genuine regression lands far below this).
+MIN_CSR_SPEEDUP = 0.8
+
+
+def timing_leaves(doc, prefix="", in_seconds=False):
+    """Yields (path, value) for numeric leaves under *seconds* keys."""
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            inside = in_seconds or "seconds" in key
+            yield from timing_leaves(value, f"{prefix}{key}.", inside)
+    elif in_seconds and isinstance(doc, (int, float)) and not isinstance(doc, bool):
+        yield prefix.rstrip("."), float(doc)
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    if len(args) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tolerance = 3.0
+    for a in argv[1:]:
+        if a.startswith("--tolerance="):
+            tolerance = float(a.split("=", 1)[1])
+
+    with open(args[0]) as f:
+        fresh = json.load(f)
+    with open(args[1]) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for key in REQUIRED_KEYS:
+        if key not in fresh:
+            failures.append(f"fresh document is missing required key '{key}'")
+    for flag in REQUIRED_TRUE_FLAGS:
+        if fresh.get(flag) is not True:
+            failures.append(f"correctness flag '{flag}' is not true: "
+                            f"{fresh.get(flag)!r}")
+
+    speedup = fresh.get("csr_triangle_clustering_speedup_1t")
+    if not isinstance(speedup, (int, float)) or speedup <= MIN_CSR_SPEEDUP:
+        failures.append(
+            f"csr_triangle_clustering_speedup_1t = {speedup!r}: the CSR "
+            f"snapshot kernels must beat the adjacency-list path "
+            f"(> {MIN_CSR_SPEEDUP:.1f}x; both sides timed on this runner)")
+    else:
+        print(f"csr vs adjacency speedup: {speedup:.2f}x "
+              f"(must exceed {MIN_CSR_SPEEDUP:.1f}x)")
+
+    if fresh.get("scale") != baseline.get("scale"):
+        failures.append(
+            f"scale mismatch: fresh {fresh.get('scale')!r} vs baseline "
+            f"{baseline.get('scale')!r} — timings are not comparable")
+
+    base_timings = dict(timing_leaves(baseline))
+    compared = 0
+    for path, value in timing_leaves(fresh):
+        base = base_timings.get(path)
+        if base is None or base < MIN_BASELINE_SECONDS:
+            continue
+        compared += 1
+        ratio = value / base
+        marker = "FAIL" if ratio > tolerance else "ok"
+        print(f"  {marker:4} {path:55} {base*1e3:9.2f} ms -> {value*1e3:9.2f} ms"
+              f"  ({ratio:.2f}x)")
+        if ratio > tolerance:
+            failures.append(
+                f"{path}: {value:.4f}s vs baseline {base:.4f}s "
+                f"({ratio:.2f}x > {tolerance:.2f}x tolerance)")
+
+    print(f"compared {compared} timings "
+          f"(baseline cores={baseline.get('hardware_concurrency')}, "
+          f"fresh cores={fresh.get('hardware_concurrency')}, "
+          f"tolerance {tolerance:.1f}x)")
+    if failures:
+        print("\nPERF REGRESSION CHECK FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("perf regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
