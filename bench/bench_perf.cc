@@ -12,13 +12,23 @@
 // hardware_concurrency is recorded so speedup numbers from 1-core
 // containers are interpretable.
 //
+// The sampler_hotpath_seconds section measures the flat-memory generation
+// hot path: FlatEdgeSet vs std::unordered_set on realistic packed-edge
+// workloads, filtered vs unfiltered proposal throughput through the dense
+// acceptance table, and the same filtered proposal loop driven by the
+// legacy-equivalent mechanics (std::unordered_set dedup + std::function
+// filter + per-proposal EncodeEdgeConfig) — both sides timed in-process,
+// so the resulting sampler_hotpath_speedup gates machine-independently.
+//
 //   ./bench_perf [--scale=0.2] [--trials=3] [--out=BENCH_perf.json]
 #include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <functional>
 #include <string>
 #include <thread>
+#include <unordered_set>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -34,8 +44,11 @@
 #include "src/graph/degree.h"
 #include "src/graph/triangle_count.h"
 #include "src/models/chung_lu.h"
+#include "src/models/edge_filter.h"
 #include "src/models/tricycle.h"
 #include "src/pipeline/release_pipeline.h"
+#include "src/util/alias_sampler.h"
+#include "src/util/flat_edge_set.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"
 
@@ -211,6 +224,152 @@ int main(int argc, char** argv) {
                 deterministic ? "yes" : "NO");
     AGMDP_CHECK_MSG(deterministic,
                     "CSR analytics differ from the adjacency-list path");
+  }
+
+  // ---------------------------------------------- sampler hot-path micro
+  // The mechanics the PR-4 rewrite replaced, vs their replacements, on the
+  // same workload and the same runner. Edge-set ops use the input graph's
+  // real packed-edge keys; the proposal loops draw endpoints from the real
+  // degree-proportional alias table, so collision and acceptance rates
+  // match what SampleAgmGraph actually sees.
+  {
+    json.Key("sampler_hotpath_seconds").BeginObject();
+    auto entry = [&](const std::string& name, double seconds) {
+      json.Key(name).Value(seconds);
+      std::printf("%-28s %10.3f ms\n", ("hotpath/" + name).c_str(),
+                  1e3 * seconds);
+    };
+
+    std::vector<uint64_t> keys;
+    keys.reserve(input.num_edges());
+    for (const graph::Edge& e : input.structure().CanonicalEdges()) {
+      keys.push_back(graph::PackEdge(e.u, e.v));
+    }
+
+    // Edge-set ops: insert every edge, then four membership sweeps (hit,
+    // miss, hit, miss) — the HasEdge-dominated shape of the proposal loop.
+    uint64_t sink = 0;
+    const double flat_set_seconds = TimeBest(trials, [&] {
+      util::FlatEdgeSet set(keys.size());
+      for (uint64_t k : keys) set.Insert(k);
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        for (uint64_t k : keys) sink += set.Contains(k) ? 1 : 0;
+        for (uint64_t k : keys) sink += set.Contains(k + 1) ? 1 : 0;
+      }
+    });
+    const double unordered_set_seconds = TimeBest(trials, [&] {
+      std::unordered_set<uint64_t> set;
+      set.reserve(keys.size());
+      for (uint64_t k : keys) set.insert(k);
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        for (uint64_t k : keys) sink += set.count(k);
+        for (uint64_t k : keys) sink += set.count(k + 1);
+      }
+    });
+    entry("flat_edge_set_ops", flat_set_seconds);
+    entry("unordered_set_ops", unordered_set_seconds);
+
+    // Proposal throughput: a fixed number of FCL-style proposals (alias
+    // draws + dedup + acceptance), unfiltered and through the dense
+    // acceptance table; then the identical filtered workload driven by the
+    // legacy-equivalent mechanics. Acceptance probabilities stay strictly
+    // inside (0, 1) so both filter implementations consume identical draws.
+    const std::vector<uint32_t> prop_degrees = degrees;
+    std::vector<double> weights(prop_degrees.begin(), prop_degrees.end());
+    auto alias = util::AliasSampler::Build(weights);
+    AGMDP_CHECK_MSG(alias.ok(), alias.status().ToString().c_str());
+    const int w = input.num_attributes();
+    const std::vector<graph::AttrConfig>& attrs = input.attributes();
+    std::vector<double> acceptance(graph::NumEdgeConfigs(w), 0.0);
+    for (size_t y = 0; y < acceptance.size(); ++y) {
+      acceptance[y] = (y % 2 == 0) ? 0.9 : 0.35;
+    }
+    const models::EdgeFilter table_filter =
+        models::EdgeFilter::FromAcceptanceTable(attrs, acceptance, w);
+    const uint64_t proposals = 4 * input.num_edges();
+
+    auto run_flat = [&](const models::EdgeFilter* filter) {
+      util::Rng rng(8);
+      util::FlatEdgeSet seen(input.num_edges());
+      uint64_t accepted = 0;
+      for (uint64_t p = 0; p < proposals; ++p) {
+        const auto u = static_cast<graph::NodeId>(alias.value().Sample(rng));
+        const auto v = static_cast<graph::NodeId>(alias.value().Sample(rng));
+        if (u == v || seen.Contains(graph::PackEdge(u, v))) continue;
+        if (filter != nullptr && !filter->Accept(u, v, rng)) continue;
+        seen.Insert(graph::PackEdge(u, v));
+        ++accepted;
+      }
+      return accepted;
+    };
+    uint64_t accepted_flat = 0;
+    entry("proposals_unfiltered", TimeBest(trials, [&] {
+      accepted_flat = run_flat(nullptr);
+    }));
+    uint64_t accepted_filtered = 0;
+    const double flat_filtered_seconds = TimeBest(trials, [&] {
+      accepted_filtered = run_flat(&table_filter);
+    });
+    entry("proposals_filtered", flat_filtered_seconds);
+    sink += accepted_flat + accepted_filtered;
+
+    // Legacy-equivalent mechanics: hash-set dedup with per-bucket nodes and
+    // a type-erased filter that re-derives the triangular config index per
+    // proposal — the exact pre-rewrite inner-loop shape.
+    const std::function<bool(graph::NodeId, graph::NodeId, util::Rng&)>
+        legacy_filter = [&attrs, &acceptance, w](
+                            graph::NodeId u, graph::NodeId v, util::Rng& r) {
+          const uint32_t y =
+              graph::EncodeEdgeConfig(attrs[u], attrs[v], w);
+          return r.Bernoulli(acceptance[y]);
+        };
+    uint64_t accepted_legacy = 0;
+    const double legacy_filtered_seconds = TimeBest(trials, [&] {
+      util::Rng rng(8);
+      std::unordered_set<uint64_t> seen;
+      uint64_t accepted = 0;
+      for (uint64_t p = 0; p < proposals; ++p) {
+        const auto u = static_cast<graph::NodeId>(alias.value().Sample(rng));
+        const auto v = static_cast<graph::NodeId>(alias.value().Sample(rng));
+        if (u == v || seen.count(graph::PackEdge(u, v)) > 0) continue;
+        if (!legacy_filter(u, v, rng)) continue;
+        seen.insert(graph::PackEdge(u, v));
+        ++accepted;
+      }
+      accepted_legacy = accepted;
+    });
+    entry("proposals_filtered_legacy_equiv", legacy_filtered_seconds);
+    AGMDP_CHECK_MSG(accepted_legacy == accepted_filtered,
+                    "legacy-equivalent loop diverged from the flat loop");
+
+    // The sample stage itself, FCL model (the TriCycLe-model stage timing
+    // already lands in pipeline_stages_seconds.sample below).
+    {
+      const agm::AgmParams params = agm::LearnAgmParams(input);
+      pipeline::PipelineConfig config;
+      config.model = "fcl";
+      config.sample.acceptance_iterations = 2;
+      entry("sample_stage_fcl", TimeBest(trials, [&] {
+        util::Rng rng(9);
+        auto g = pipeline::SampleRelease(params, config, rng);
+        AGMDP_CHECK_MSG(g.ok(), g.status().ToString().c_str());
+      }));
+    }
+    json.EndObject();
+    if (sink == 0) std::printf(" ");  // keep the membership sweeps live
+
+    const double edge_set_speedup = flat_set_seconds > 0.0
+                                        ? unordered_set_seconds /
+                                              flat_set_seconds
+                                        : 0.0;
+    const double hotpath_speedup = flat_filtered_seconds > 0.0
+                                       ? legacy_filtered_seconds /
+                                             flat_filtered_seconds
+                                       : 0.0;
+    json.Key("edge_set_speedup").Value(edge_set_speedup);
+    json.Key("sampler_hotpath_speedup").Value(hotpath_speedup);
+    std::printf("edge set speedup              %10.2fx\n", edge_set_speedup);
+    std::printf("hot-path proposal speedup     %10.2fx\n", hotpath_speedup);
   }
 
   // ------------------------------------- pipeline end-to-end stage timings

@@ -1,10 +1,9 @@
 #include "src/agm/agm_sampler.h"
 
 #include <algorithm>
-#include <atomic>
 #include <cmath>
-#include <thread>
-#include <unordered_set>
+#include <optional>
+#include <utility>
 
 #include "src/agm/theta_f.h"
 #include "src/agm/theta_x.h"
@@ -13,6 +12,9 @@
 #include "src/graph/triangle_count.h"
 #include "src/util/alias_sampler.h"
 #include "src/util/check.h"
+#include "src/util/flat_edge_set.h"
+#include "src/util/math_util.h"
+#include "src/util/parallel.h"
 
 namespace agmdp::agm {
 
@@ -75,35 +77,39 @@ namespace {
 // workers happen to execute them.
 constexpr int kProposalShards = 64;
 
-int ResolveThreads(int threads) {
-  if (threads > 0) return std::min(threads, 64);
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 64u));
+// Worker count for the sampler's persistent pool: the hardware concurrency
+// (or the explicit request), never more than the shard count.
+int SamplerWorkers(int threads) {
+  return std::min(util::ResolveThreadCount(threads), kProposalShards);
 }
 
-// Runs fn(0..num_tasks-1) on up to `threads` workers pulling tasks from a
-// shared counter. Task order within a worker is arbitrary; callers must
-// make each task independent and merge results in task order themselves.
-void ParallelFor(int num_tasks, int threads,
-                 const std::function<void(int)>& fn) {
-  threads = std::min(threads, num_tasks);
-  if (threads <= 1) {
-    for (int i = 0; i < num_tasks; ++i) fn(i);
-    return;
+// The per-sample invariants of the sharded FCL path, built once per
+// SampleAgmGraph call and reused across every acceptance iteration: the pi
+// weights, the alias table over them, and the edge target. Only the cFCL
+// calibration pass (whose weights depend on the pilot graph of the current
+// iteration) still builds a fresh alias table.
+struct FclPlan {
+  std::vector<double> weights;
+  std::optional<util::AliasSampler> sampler;  // engaged iff target > 0
+  uint64_t target = 0;
+  uint64_t total_degree = 0;
+};
+
+util::Result<FclPlan> BuildFclPlan(const std::vector<uint32_t>& degrees,
+                                   const models::ChungLuOptions& options) {
+  if (degrees.empty()) {
+    return util::Status::InvalidArgument("FastChungLu: empty degree sequence");
   }
-  std::atomic<int> next{0};
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (int t = 0; t < threads; ++t) {
-    pool.emplace_back([&] {
-      for (;;) {
-        const int i = next.fetch_add(1);
-        if (i >= num_tasks) return;
-        fn(i);
-      }
-    });
-  }
-  for (auto& worker : pool) worker.join();
+  FclPlan plan;
+  for (uint32_t d : degrees) plan.total_degree += d;
+  plan.target = options.target_edges > 0 ? options.target_edges
+                                         : plan.total_degree / 2;
+  if (plan.target == 0) return plan;  // empty result; no pi table needed
+  plan.weights.assign(degrees.begin(), degrees.end());
+  auto sampler = util::AliasSampler::Build(plan.weights);
+  if (!sampler.ok()) return sampler.status();
+  plan.sampler = std::move(sampler).value();
+  return plan;
 }
 
 // One sharded proposal pass of the parallel Fast Chung-Lu sampler. Shard s
@@ -112,18 +118,21 @@ void ParallelFor(int num_tasks, int threads,
 // sequential sampler, only among *accepted* edges, so a filter-rejected
 // pair can be re-proposed); the shards are then merged in shard order with
 // cross-shard duplicates dropped. Every quantity here is a function of
-// (seed_base, stream_offset) alone — thread count only changes which worker
+// (seed_base, stream_offset) alone — the pool only changes which worker
 // runs which shard.
-util::Result<graph::Graph> ShardedProposalPass(
-    const std::vector<double>& weights, uint64_t target_edges,
-    uint64_t max_proposals_per_edge, const models::EdgeFilter& filter,
-    int threads, uint64_t seed_base, uint64_t stream_offset,
-    std::vector<graph::Edge>* insertion_order) {
-  const auto n = static_cast<graph::NodeId>(weights.size());
+graph::Graph ShardedProposalPass(const util::AliasSampler& sampler,
+                                 graph::NodeId n, uint64_t target_edges,
+                                 uint64_t max_proposals_per_edge,
+                                 const models::EdgeFilter& filter,
+                                 util::WorkerPool& pool, uint64_t seed_base,
+                                 uint64_t stream_offset,
+                                 std::vector<graph::Edge>* insertion_order) {
   if (insertion_order != nullptr) insertion_order->clear();
+  // A simple graph over n nodes cannot hold more edges than this; clamping
+  // the caller's raw target bounds every quota- and reservation-derived
+  // allocation below.
+  target_edges = std::min(target_edges, graph::MaxPossibleEdges(n));
   if (target_edges == 0) return graph::Graph(n);
-  auto sampler = util::AliasSampler::Build(weights);
-  if (!sampler.ok()) return sampler.status();
 
   // Over-provision each shard a little beyond target/shards: cross-shard
   // duplicates only surface at merge time, and the surplus lets the merge
@@ -132,28 +141,32 @@ util::Result<graph::Graph> ShardedProposalPass(
   const uint64_t base_quota = (target_edges + kProposalShards - 1) /
                               static_cast<uint64_t>(kProposalShards);
   const uint64_t quota = base_quota + base_quota / 4 + 2;
+  // Saturate: max_proposals_per_edge is a caller knob, and a wrapped
+  // product can silently collapse the budget to ~0 proposals.
+  const uint64_t budget = util::SaturatingMul(max_proposals_per_edge, quota);
+  const bool filtered = filter.active();
 
   std::vector<std::vector<graph::Edge>> accepted(kProposalShards);
-  ParallelFor(kProposalShards, threads, [&](int s) {
-    util::Rng rng =
-        util::Rng::Substream(seed_base, stream_offset + static_cast<uint64_t>(s));
-    std::unordered_set<uint64_t> seen;
+  pool.Run(kProposalShards, [&](int s) {
+    util::Rng rng = util::Rng::Substream(
+        seed_base, stream_offset + static_cast<uint64_t>(s));
+    util::FlatEdgeSet seen(quota);
     std::vector<graph::Edge>& edges = accepted[s];
     edges.reserve(quota);
-    const uint64_t budget = max_proposals_per_edge * quota;
     uint64_t proposals = 0;
     while (edges.size() < quota && proposals < budget) {
       ++proposals;
-      const auto u = static_cast<graph::NodeId>(sampler.value().Sample(rng));
-      const auto v = static_cast<graph::NodeId>(sampler.value().Sample(rng));
-      if (u == v || seen.count(graph::PackEdge(u, v)) > 0) continue;
-      if (!models::AcceptEdge(filter, u, v, rng)) continue;
-      seen.insert(graph::PackEdge(u, v));
+      const auto u = static_cast<graph::NodeId>(sampler.Sample(rng));
+      const auto v = static_cast<graph::NodeId>(sampler.Sample(rng));
+      if (u == v || seen.Contains(graph::PackEdge(u, v))) continue;
+      if (filtered && !filter.Accept(u, v, rng)) continue;
+      seen.Insert(graph::PackEdge(u, v));
       edges.emplace_back(u, v);
     }
   });
 
   graph::Graph g(n);
+  g.ReserveEdges(target_edges);
   for (const auto& shard : accepted) {
     for (const graph::Edge& e : shard) {
       if (g.num_edges() >= target_edges) return g;
@@ -168,102 +181,65 @@ util::Result<graph::Graph> ShardedProposalPass(
 // Parallel counterpart of models::FastChungLu, including the cFCL hub
 // calibration pass (same reweighting rule; the pilot graph it reads is the
 // deterministic shard merge, so the calibration is reproducible too). The
-// second pass uses the next block of sub-streams.
+// second pass uses the next block of sub-streams. The first pass reuses the
+// plan's prebuilt alias table; only the calibrated pass, whose weights
+// depend on the pilot, builds a fresh one.
 util::Result<graph::Graph> ShardedFastChungLu(
-    const std::vector<uint32_t>& degrees, const models::ChungLuOptions& options,
-    int threads, uint64_t seed_base) {
-  if (degrees.empty()) {
-    return util::Status::InvalidArgument("FastChungLu: empty degree sequence");
-  }
-  uint64_t total_degree = 0;
-  for (uint32_t d : degrees) total_degree += d;
-  const uint64_t target =
-      options.target_edges > 0 ? options.target_edges : total_degree / 2;
-  if (target == 0) {
-    return graph::Graph(static_cast<graph::NodeId>(degrees.size()));
+    const std::vector<uint32_t>& degrees, const FclPlan& plan,
+    const models::ChungLuOptions& options, util::WorkerPool& pool,
+    uint64_t seed_base) {
+  const auto n = static_cast<graph::NodeId>(degrees.size());
+  if (plan.target == 0) {
+    if (options.insertion_order != nullptr) options.insertion_order->clear();
+    return graph::Graph(n);
   }
 
-  std::vector<double> weights(degrees.begin(), degrees.end());
-  auto first = ShardedProposalPass(
-      weights, target, options.max_proposals_per_edge, options.filter,
-      threads, seed_base, /*stream_offset=*/0, options.insertion_order);
-  if (!first.ok() || !options.bias_correction) return first;
+  graph::Graph first = ShardedProposalPass(
+      *plan.sampler, n, plan.target, options.max_proposals_per_edge,
+      options.filter, pool, seed_base, /*stream_offset=*/0,
+      options.insertion_order);
+  if (!options.bias_correction) return first;
 
-  const graph::Graph& pilot = first.value();
-  const double avg_degree =
-      static_cast<double>(total_degree) / static_cast<double>(degrees.size());
+  const double avg_degree = static_cast<double>(plan.total_degree) /
+                            static_cast<double>(degrees.size());
   const double hub_threshold = std::max(10.0, 3.0 * avg_degree);
+  std::vector<double> weights = plan.weights;
   bool any_adjusted = false;
   for (size_t i = 0; i < weights.size(); ++i) {
     const double desired = degrees[i];
     if (weights[i] <= 0.0 || desired <= hub_threshold) continue;
     const double realized = std::max(
-        1.0, static_cast<double>(pilot.Degree(static_cast<graph::NodeId>(i))));
+        1.0, static_cast<double>(first.Degree(static_cast<graph::NodeId>(i))));
     const double ratio = std::clamp(desired / realized, 1.0, 4.0);
     if (ratio > 1.0 + 1e-9) any_adjusted = true;
     weights[i] *= ratio;
   }
   if (!any_adjusted) return first;
+
+  auto calibrated = util::AliasSampler::Build(weights);
+  if (!calibrated.ok()) return calibrated.status();
   // The calibrated pass re-clears insertion_order, so the caller sees only
   // the returned graph's edges, in merge order.
-  return ShardedProposalPass(weights, target, options.max_proposals_per_edge,
-                             options.filter, threads, seed_base,
+  return ShardedProposalPass(calibrated.value(), n, plan.target,
+                             options.max_proposals_per_edge, options.filter,
+                             pool, seed_base,
                              /*stream_offset=*/kProposalShards,
                              options.insertion_order);
 }
 
-// Generates the edge set for the current acceptance vector (empty = none).
-util::Result<graph::Graph> GenerateStructure(
-    const AgmParams& params, const AgmSampleOptions& options,
-    const std::vector<graph::AttrConfig>& attrs,
-    const std::vector<double>& acceptance, util::Rng& rng) {
-  models::EdgeFilter filter;
-  if (!acceptance.empty()) {
-    const int w = params.w;
-    filter = [&attrs, &acceptance, w](graph::NodeId u, graph::NodeId v,
-                                      util::Rng& r) {
-      const uint32_t y = graph::EncodeEdgeConfig(attrs[u], attrs[v], w);
-      return r.Bernoulli(acceptance[y]);
-    };
-  }
-
-  if (options.generator) return options.generator(params, filter, rng);
-
-  if (options.model == StructuralModelKind::kFcl) {
-    models::ChungLuOptions fcl = options.fcl;
-    fcl.filter = filter;
-    // One master draw keys the whole sharded pass, so the master stream
-    // advances identically at any thread count.
-    const uint64_t seed_base = rng.Next();
-    return ShardedFastChungLu(params.degree_sequence, fcl,
-                              ResolveThreads(options.threads), seed_base);
-  }
-  // TriCycLe's oldest-edge rewiring chain is inherently sequential (every
-  // swap depends on the full edge-age state); it stays on the master stream.
-  models::TriCycLeOptions tri = options.tricycle;
-  tri.filter = filter;
-  auto result = models::GenerateTriCycLe(params.degree_sequence,
-                                         params.target_triangles, rng, tri);
-  if (!result.ok()) return result.status();
-  return std::move(result).value().graph;
-}
-
-}  // namespace
-
-std::vector<double> MeasureThetaF(const graph::AttributedGraph& g,
-                                  int threads) {
+// Θ'F counted over the pool's workers (node-range partition; exact integer
+// counts, so the result is identical at any worker count).
+std::vector<double> MeasureThetaFWithPool(const graph::AttributedGraph& g,
+                                          util::WorkerPool& pool) {
   const int w = g.num_attributes();
   const uint64_t n = g.num_nodes();
   const uint32_t dim = graph::NumEdgeConfigs(w);
   const int workers = static_cast<int>(std::min<uint64_t>(
-      static_cast<uint64_t>(ResolveThreads(threads)), std::max<uint64_t>(n, 1)));
+      static_cast<uint64_t>(pool.num_workers()), std::max<uint64_t>(n, 1)));
 
-  // Per-worker exact counts over a node-range partition. The counts are
-  // integers (< 2^53), so their sum — and hence the result — is identical
-  // at any worker count.
   std::vector<std::vector<double>> partial(
       workers, std::vector<double>(dim, 0.0));
-  ParallelFor(workers, workers, [&](int t) {
+  pool.Run(workers, [&](int t) {
     const auto lo = static_cast<graph::NodeId>(n * t / workers);
     const auto hi = static_cast<graph::NodeId>(n * (t + 1) / workers);
     std::vector<double>& counts = partial[t];
@@ -285,6 +261,53 @@ std::vector<double> MeasureThetaF(const graph::AttributedGraph& g,
                                static_cast<double>(g.num_edges() + 1));
 }
 
+// Generates the edge set for the current acceptance vector (empty = none).
+// `fcl_plan` is the hoisted per-sample FCL state (null on the TriCycLe and
+// registry-generator paths, which do not use it).
+util::Result<graph::Graph> GenerateStructure(
+    const AgmParams& params, const AgmSampleOptions& options,
+    const std::vector<graph::AttrConfig>& attrs,
+    const std::vector<double>& acceptance, const FclPlan* fcl_plan,
+    util::WorkerPool& pool, util::Rng& rng) {
+  models::EdgeFilter filter;
+  if (!acceptance.empty()) {
+    // Dense acceptance table: attribute lookups and the triangular
+    // edge-config encoding are precomputed once per iteration, so the inner
+    // proposal loops pay two array loads per decision.
+    filter = models::EdgeFilter::FromAcceptanceTable(attrs, acceptance,
+                                                     params.w);
+  }
+
+  if (options.generator) return options.generator(params, filter, rng);
+
+  if (options.model == StructuralModelKind::kFcl) {
+    AGMDP_CHECK(fcl_plan != nullptr);
+    models::ChungLuOptions fcl = options.fcl;
+    fcl.filter = filter;
+    // One master draw keys the whole sharded pass, so the master stream
+    // advances identically at any thread count.
+    const uint64_t seed_base = rng.Next();
+    return ShardedFastChungLu(params.degree_sequence, *fcl_plan, fcl, pool,
+                              seed_base);
+  }
+  // TriCycLe's oldest-edge rewiring chain is inherently sequential (every
+  // swap depends on the full edge-age state); it stays on the master stream.
+  models::TriCycLeOptions tri = options.tricycle;
+  tri.filter = filter;
+  auto result = models::GenerateTriCycLe(params.degree_sequence,
+                                         params.target_triangles, rng, tri);
+  if (!result.ok()) return result.status();
+  return std::move(result).value().graph;
+}
+
+}  // namespace
+
+std::vector<double> MeasureThetaF(const graph::AttributedGraph& g,
+                                  int threads) {
+  util::WorkerPool pool(SamplerWorkers(threads));
+  return MeasureThetaFWithPool(g, pool);
+}
+
 util::Result<graph::AttributedGraph> SampleAgmGraph(
     const AgmParams& params, const AgmSampleOptions& options,
     util::Rng& rng) {
@@ -298,12 +321,26 @@ util::Result<graph::AttributedGraph> SampleAgmGraph(
   }
   const auto n = static_cast<graph::NodeId>(params.degree_sequence.size());
 
+  // The pool and the FCL invariants (pi weights + alias table) live for the
+  // whole sample: one thread spawn and one alias build per sample, not one
+  // per acceptance iteration.
+  util::WorkerPool pool(SamplerWorkers(options.threads));
+  std::optional<FclPlan> plan_storage;
+  const FclPlan* fcl_plan = nullptr;
+  if (!options.generator && options.model == StructuralModelKind::kFcl) {
+    auto plan = BuildFclPlan(params.degree_sequence, options.fcl);
+    if (!plan.ok()) return plan.status();
+    plan_storage = std::move(plan).value();
+    fcl_plan = &*plan_storage;
+  }
+
   // Line 6: fresh attribute vectors X̃ ~ ΘX.
   auto attrs = SampleAttributes(params.theta_x, n, rng);
   if (!attrs.ok()) return attrs.status();
 
   // Line 7: temporary edge set, no acceptance filtering yet.
-  auto structure = GenerateStructure(params, options, attrs.value(), {}, rng);
+  auto structure = GenerateStructure(params, options, attrs.value(), {},
+                                     fcl_plan, pool, rng);
   if (!structure.ok()) return structure.status();
 
   graph::AttributedGraph synthetic(std::move(structure).value(), params.w);
@@ -313,7 +350,7 @@ util::Result<graph::AttributedGraph> SampleAgmGraph(
   std::vector<double> a_old;
   for (int iter = 0; iter < options.acceptance_iterations; ++iter) {
     const std::vector<double> observed =
-        MeasureThetaF(synthetic, options.threads);
+        MeasureThetaFWithPool(synthetic, pool);
     std::vector<double> acceptance = ComputeAcceptanceProbabilities(
         params.theta_f, observed, a_old, options.min_acceptance);
 
@@ -324,8 +361,8 @@ util::Result<graph::AttributedGraph> SampleAgmGraph(
       }
     }
 
-    auto refreshed =
-        GenerateStructure(params, options, attrs.value(), acceptance, rng);
+    auto refreshed = GenerateStructure(params, options, attrs.value(),
+                                       acceptance, fcl_plan, pool, rng);
     if (!refreshed.ok()) return refreshed.status();
     synthetic = graph::AttributedGraph(std::move(refreshed).value(), params.w);
     AGMDP_CHECK_OK(synthetic.SetAttributes(attrs.value()));

@@ -54,11 +54,13 @@ struct AgmSampleOptions {
   /// Overrides `model` when set (registry-provided structural models).
   StructuralGenerator generator;
   /// Worker threads for the sampler hot path (sharded FCL edge proposals
-  /// and Θ'F measurement). 0 = hardware concurrency. The output graph is
-  /// bitwise-identical for a given seed at any thread count: the work is
-  /// split into a fixed number of shards with deterministic per-shard
-  /// sub-streams (util::Rng::Substream), and shard results are merged in
-  /// shard order — threads only change the schedule, never the stream.
+  /// and Θ'F measurement). 0 = hardware concurrency. SampleAgmGraph spawns
+  /// one persistent util::WorkerPool per call and reuses it across every
+  /// acceptance iteration. The output graph is bitwise-identical for a
+  /// given seed at any thread count: the work is split into a fixed number
+  /// of shards with deterministic per-shard sub-streams
+  /// (util::Rng::Substream), and shard results are merged in shard order —
+  /// threads only change the schedule, never the stream.
   int threads = 1;
   /// Acceptance-probability refinement iterations ("A tended to converge
   /// after just a few iterations", Section 4).

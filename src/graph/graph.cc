@@ -10,7 +10,7 @@ Graph::Graph(NodeId num_nodes) : adj_(num_nodes) {}
 
 bool Graph::AddEdge(NodeId u, NodeId v) {
   if (u == v || u >= num_nodes() || v >= num_nodes()) return false;
-  if (!edge_set_.insert(PackEdge(u, v)).second) return false;
+  if (!edge_set_.Insert(PackEdge(u, v))) return false;
   adj_[u].push_back(v);
   adj_[v].push_back(u);
   ++num_edges_;
@@ -19,7 +19,7 @@ bool Graph::AddEdge(NodeId u, NodeId v) {
 
 bool Graph::RemoveEdge(NodeId u, NodeId v) {
   if (u == v || u >= num_nodes() || v >= num_nodes()) return false;
-  if (edge_set_.erase(PackEdge(u, v)) == 0) return false;
+  if (!edge_set_.Erase(PackEdge(u, v))) return false;
   auto drop = [](std::vector<NodeId>& list, NodeId x) {
     auto it = std::find(list.begin(), list.end(), x);
     AGMDP_CHECK(it != list.end());
@@ -61,7 +61,7 @@ std::vector<Edge> Graph::CanonicalEdges() const {
 
 void Graph::ClearEdges() {
   for (auto& list : adj_) list.clear();
-  edge_set_.clear();
+  edge_set_.Clear();
   num_edges_ = 0;
 }
 

@@ -1,21 +1,24 @@
 // Dynamic undirected simple graph.
 //
 // The representation is tuned for the workloads in this library:
-//   * neighbor lists as vectors  -> O(1) uniform-random neighbor sampling
-//     (TriCycLe's friend-of-a-friend proposals),
-//   * a packed-edge hash set     -> O(1) HasEdge, and
-//   * swap-erase removal         -> O(degree) edge deletion, cheap at social-
-//     network average degrees.
+//   * neighbor lists as vectors       -> O(1) uniform-random neighbor
+//     sampling (TriCycLe's friend-of-a-friend proposals),
+//   * a flat packed-edge hash set     -> O(1) HasEdge with no per-bucket
+//     allocation or pointer chase (util::FlatEdgeSet; the sampler hot path
+//     calls this once per proposal), and
+//   * swap-erase removal              -> O(degree) edge deletion, cheap at
+//     social-network average degrees.
 //
 // The node set is fixed at construction (the paper treats n as public);
 // self-loops and parallel edges are rejected, matching the paper's "simple
 // graph" setting.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
-#include <unordered_set>
 #include <vector>
 
+#include "src/util/flat_edge_set.h"
 #include "src/util/status.h"
 
 namespace agmdp::graph {
@@ -42,6 +45,14 @@ inline uint64_t PackEdge(NodeId u, NodeId v) {
   return (static_cast<uint64_t>(u) << 32) | v;
 }
 
+/// Edge capacity of a simple graph over n nodes: n * (n - 1) / 2,
+/// overflow-free for any 32-bit n.
+inline uint64_t MaxPossibleEdges(NodeId num_nodes) {
+  const uint64_t n = num_nodes;
+  if (n < 2) return 0;
+  return (n % 2 == 0) ? (n / 2) * (n - 1) : n * ((n - 1) / 2);
+}
+
 /// \brief Undirected simple graph over nodes {0, ..., n-1}.
 class Graph {
  public:
@@ -62,7 +73,7 @@ class Graph {
 
   bool HasEdge(NodeId u, NodeId v) const {
     if (u == v || u >= num_nodes() || v >= num_nodes()) return false;
-    return edge_set_.count(PackEdge(u, v)) > 0;
+    return edge_set_.Contains(PackEdge(u, v));
   }
 
   uint32_t Degree(NodeId v) const {
@@ -98,9 +109,17 @@ class Graph {
   /// Removes all edges, keeping the node set.
   void ClearEdges();
 
+  /// Pre-sizes the edge-set hash table for `expected_edges` insertions.
+  /// The hint is clamped to the maximum possible simple-graph edge count,
+  /// so callers may pass raw (even absurd) target knobs.
+  void ReserveEdges(uint64_t expected_edges) {
+    edge_set_.Reserve(static_cast<size_t>(
+        std::min(expected_edges, MaxPossibleEdges(num_nodes()))));
+  }
+
  private:
   std::vector<std::vector<NodeId>> adj_;
-  std::unordered_set<uint64_t> edge_set_;
+  util::FlatEdgeSet edge_set_;
   uint64_t num_edges_ = 0;
 };
 

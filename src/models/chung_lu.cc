@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "src/util/check.h"
+#include "src/util/math_util.h"
 
 namespace agmdp::models {
 
@@ -18,9 +19,12 @@ util::Result<graph::Graph> GenerateOnce(
 
   if (insertion_order != nullptr) {
     insertion_order->clear();
-    insertion_order->reserve(target_edges);
+    insertion_order->reserve(static_cast<size_t>(std::min(
+        target_edges,
+        graph::MaxPossibleEdges(static_cast<graph::NodeId>(weights.size())))));
   }
   graph::Graph g(static_cast<graph::NodeId>(weights.size()));
+  g.ReserveEdges(target_edges);  // no rehash churn inside the proposal loop
   uint64_t proposals = 0;
   while (g.num_edges() < target_edges && proposals < max_proposals) {
     ++proposals;
@@ -58,7 +62,10 @@ util::Result<graph::Graph> FastChungLu(const std::vector<uint32_t>& degrees,
       options.target_edges > 0 ? options.target_edges : total_degree / 2;
   if (target == 0) return graph::Graph(static_cast<graph::NodeId>(degrees.size()));
 
-  const uint64_t max_proposals = options.max_proposals_per_edge * target;
+  // Saturate: the per-edge knob is caller-supplied and a wrapped product
+  // can silently collapse the proposal budget to ~0.
+  const uint64_t max_proposals =
+      util::SaturatingMul(options.max_proposals_per_edge, target);
   std::vector<double> weights(degrees.begin(), degrees.end());
 
   auto first = GenerateOnce(weights, target, max_proposals, options.filter,

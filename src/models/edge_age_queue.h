@@ -10,9 +10,9 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
 
 #include "src/graph/graph.h"
+#include "src/util/flat_edge_set.h"
 
 namespace agmdp::models {
 
@@ -22,13 +22,13 @@ class EdgeAgeQueue {
   /// Registers `e` as the youngest edge (fresh insertion or undo).
   void Push(const graph::Edge& e) {
     const uint64_t seq = ++counter_;
-    latest_[graph::PackEdge(e.u, e.v)] = seq;
+    latest_.Put(graph::PackEdge(e.u, e.v), seq);
     queue_.push_back({e, seq});
   }
 
   /// Marks `e` as no longer tracked (its queue entry becomes stale).
   void Invalidate(const graph::Edge& e) {
-    latest_.erase(graph::PackEdge(e.u, e.v));
+    latest_.Erase(graph::PackEdge(e.u, e.v));
   }
 
   /// Pops and returns the oldest valid edge; false if none remain.
@@ -36,9 +36,10 @@ class EdgeAgeQueue {
     while (!queue_.empty()) {
       const Entry entry = queue_.front();
       queue_.pop_front();
-      auto it = latest_.find(graph::PackEdge(entry.edge.u, entry.edge.v));
-      if (it != latest_.end() && it->second == entry.seq) {
-        latest_.erase(it);
+      const uint64_t key = graph::PackEdge(entry.edge.u, entry.edge.v);
+      const uint64_t* seq = latest_.Find(key);
+      if (seq != nullptr && *seq == entry.seq) {
+        latest_.Erase(key);
         *out = entry.edge;
         return true;
       }
@@ -56,7 +57,8 @@ class EdgeAgeQueue {
   };
 
   std::deque<Entry> queue_;
-  std::unordered_map<uint64_t, uint64_t> latest_;
+  util::FlatEdgeMap latest_;  // flat map: PopOldest/Push run once per
+                              // rewiring proposal in the TriCycLe/TCL loops
   uint64_t counter_ = 0;
 };
 

@@ -2,23 +2,114 @@
 // accept/reject decisions into the structural models (Section 4).
 //
 // A filter sees a proposed edge {u, v} and returns whether to keep it; AGM's
-// filter accepts with probability A(F_w(x_u, x_v)). A null filter accepts
-// everything (plain structural sampling).
+// filter accepts with probability A(F_w(x_u, x_v)). A default-constructed
+// filter accepts everything (plain structural sampling).
+//
+// EdgeFilter is a concrete class, not a std::function: the AGM hot path
+// evaluates it once per proposal inside the FCL/TriCycLe inner loops, and
+// the table mode below turns that evaluation into two array loads — the
+// per-node attribute configurations are a flat array indexed by node id,
+// and the acceptance probabilities a dense 2^w x 2^w matrix indexed by the
+// endpoint configurations — so neither EncodeEdgeConfig's triangular-index
+// arithmetic nor a type-erased std::function call survives on the hot path.
+// Arbitrary predicates (tests, registry top-up models) still plug in
+// through the custom mode, which keeps the old std::function behavior.
 #pragma once
 
 #include <functional>
+#include <memory>
+#include <type_traits>
+#include <utility>
+#include <vector>
 
+#include "src/graph/attribute_encoding.h"
 #include "src/graph/graph.h"
+#include "src/util/check.h"
 #include "src/util/rng.h"
 
 namespace agmdp::models {
 
-using EdgeFilter =
-    std::function<bool(graph::NodeId u, graph::NodeId v, util::Rng& rng)>;
+/// \brief Per-proposal edge accept/reject decision.
+class EdgeFilter {
+ public:
+  using Predicate =
+      std::function<bool(graph::NodeId u, graph::NodeId v, util::Rng& rng)>;
+
+  /// Pass-through: accepts every edge without consuming randomness.
+  EdgeFilter() = default;
+
+  /// Custom predicate — any callable (u, v, rng) -> bool, so
+  /// `options.filter = lambda` keeps working. An empty std::function
+  /// behaves like the pass-through filter.
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EdgeFilter> &&
+                std::is_constructible_v<Predicate, F&&>>>
+  EdgeFilter(F&& predicate)  // NOLINT(google-explicit-constructor)
+      : predicate_(std::forward<F>(predicate)) {}
+
+  /// AGM's acceptance filter: accept {u, v} with probability
+  /// A(F_w(x_u, x_v)). `node_configs` holds x (indexed by node id) and
+  /// `acceptance_by_config` holds A (indexed by the triangular edge-config
+  /// index, length NumEdgeConfigs(w)); both are expanded into the flat
+  /// layout described above. The table is shared, not copied, when the same
+  /// filter is handed to seed + rewiring passes.
+  static EdgeFilter FromAcceptanceTable(
+      std::vector<graph::AttrConfig> node_configs,
+      const std::vector<double>& acceptance_by_config, int w) {
+    const uint32_t k = graph::NumNodeConfigs(w);
+    AGMDP_CHECK(acceptance_by_config.size() == graph::NumEdgeConfigs(w));
+    auto table = std::make_shared<Table>();
+    table->k = k;
+    table->node_configs = std::move(node_configs);
+    table->accept.resize(static_cast<size_t>(k) * k);
+    for (uint32_t a = 0; a < k; ++a) {
+      for (uint32_t b = a; b < k; ++b) {
+        const double p = acceptance_by_config[graph::EncodeEdgeConfig(a, b, w)];
+        table->accept[static_cast<size_t>(a) * k + b] = p;
+        table->accept[static_cast<size_t>(b) * k + a] = p;
+      }
+    }
+    EdgeFilter filter;
+    filter.table_ = std::move(table);
+    return filter;
+  }
+
+  /// True when the filter can reject edges (the pass-through state answers
+  /// false, letting callers skip the accept call entirely).
+  bool active() const { return table_ != nullptr || bool(predicate_); }
+  explicit operator bool() const { return active(); }
+
+  /// Accept/reject the proposed edge {u, v}. The table path consumes one
+  /// Bernoulli draw from `rng` unless the probability is exactly 0 or 1
+  /// (Rng::Bernoulli's own shortcut), a pure function of (x_u, x_v), so the
+  /// draw sequence is identical however proposals are sharded.
+  bool Accept(graph::NodeId u, graph::NodeId v, util::Rng& rng) const {
+    if (table_ != nullptr) {
+      const Table& t = *table_;
+      const double p =
+          t.accept[static_cast<size_t>(t.node_configs[u]) * t.k +
+                   t.node_configs[v]];
+      return rng.Bernoulli(p);
+    }
+    if (predicate_) return predicate_(u, v, rng);
+    return true;
+  }
+
+ private:
+  struct Table {
+    uint32_t k = 0;
+    std::vector<graph::AttrConfig> node_configs;  // x, indexed by node id
+    std::vector<double> accept;                   // A, dense k*k row-major
+  };
+
+  std::shared_ptr<const Table> table_;
+  Predicate predicate_;
+};
 
 inline bool AcceptEdge(const EdgeFilter& filter, graph::NodeId u,
                        graph::NodeId v, util::Rng& rng) {
-  return !filter || filter(u, v, rng);
+  return filter.Accept(u, v, rng);
 }
 
 }  // namespace agmdp::models

@@ -56,6 +56,9 @@ util::Result<graph::Graph> HolmeKim(graph::NodeId n,
       m_v = std::max<uint32_t>(
           1, m_floor + (rng.Bernoulli(extra_edge_prob) ? 1 : 0));
     }
+    // The degree cap must bound the new node's own burst too, not just its
+    // targets' degrees (a dispersed m_v can exceed max_degree).
+    if (options.max_degree > 0) m_v = std::min(m_v, options.max_degree);
     graph::NodeId last_target = 0;
     bool have_target = false;
     uint32_t added = 0;

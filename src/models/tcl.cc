@@ -1,10 +1,11 @@
 #include "src/models/tcl.h"
 
 #include <algorithm>
-#include <unordered_set>
 
 #include "src/models/edge_age_queue.h"
 #include "src/util/check.h"
+#include "src/util/flat_edge_set.h"
+#include "src/util/math_util.h"
 
 namespace agmdp::models {
 
@@ -35,14 +36,14 @@ util::Result<graph::Graph> GenerateTcl(const std::vector<uint32_t>& degrees,
   graph::Graph g = std::move(seed).value();
 
   EdgeAgeQueue age;
-  std::unordered_set<uint64_t> live_seed_edges;
-  live_seed_edges.reserve(insertion_order.size());
+  util::FlatEdgeSet live_seed_edges(insertion_order.size());
   for (const graph::Edge& e : insertion_order) {
     age.Push(e);
-    live_seed_edges.insert(graph::PackEdge(e.u, e.v));
+    live_seed_edges.Insert(graph::PackEdge(e.u, e.v));
   }
 
-  const uint64_t max_proposals = options.max_proposals_factor * m_target;
+  const uint64_t max_proposals =
+      util::SaturatingMul(options.max_proposals_factor, m_target);
   uint64_t proposals = 0;
   while (!live_seed_edges.empty() && proposals < max_proposals) {
     ++proposals;
@@ -75,7 +76,7 @@ util::Result<graph::Graph> GenerateTcl(const std::vector<uint32_t>& degrees,
     if (!have_oldest) break;  // cannot happen (the new edge is live) but
                               // guards against future invariant changes
     g.RemoveEdge(oldest.u, oldest.v);
-    live_seed_edges.erase(graph::PackEdge(oldest.u, oldest.v));
+    live_seed_edges.Erase(graph::PackEdge(oldest.u, oldest.v));
   }
 
   if (options.post_process) {

@@ -24,8 +24,7 @@ Result<AliasSampler> AliasSampler::Build(const std::vector<double>& weights) {
 
   const size_t n = weights.size();
   AliasSampler sampler;
-  sampler.prob_.assign(n, 0.0);
-  sampler.alias_.assign(n, 0);
+  sampler.buckets_.assign(n, Bucket{});
   sampler.mass_.assign(n, 0.0);
 
   // Vose's algorithm: split scaled masses into "small" (< 1) and "large"
@@ -49,8 +48,8 @@ Result<AliasSampler> AliasSampler::Build(const std::vector<double>& weights) {
     small.pop_back();
     uint32_t l = large.back();
     large.pop_back();
-    sampler.prob_[s] = scaled[s];
-    sampler.alias_[s] = l;
+    sampler.buckets_[s].prob = scaled[s];
+    sampler.buckets_[s].alias = l;
     scaled[l] = (scaled[l] + scaled[s]) - 1.0;
     if (scaled[l] < 1.0) {
       small.push_back(l);
@@ -59,16 +58,10 @@ Result<AliasSampler> AliasSampler::Build(const std::vector<double>& weights) {
     }
   }
   // Numerical leftovers: everything remaining gets probability 1 of itself.
-  for (uint32_t l : large) sampler.prob_[l] = 1.0;
-  for (uint32_t s : small) sampler.prob_[s] = 1.0;
+  for (uint32_t l : large) sampler.buckets_[l].prob = 1.0;
+  for (uint32_t s : small) sampler.buckets_[s].prob = 1.0;
 
   return sampler;
-}
-
-size_t AliasSampler::Sample(Rng& rng) const {
-  AGMDP_CHECK(!prob_.empty());
-  const size_t i = rng.UniformIndex(prob_.size());
-  return rng.UniformDouble() < prob_[i] ? i : alias_[i];
 }
 
 }  // namespace agmdp::util

@@ -1,0 +1,26 @@
+// Small arithmetic helpers shared across the library.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace agmdp::util {
+
+/// a * b clamped to UINT64_MAX instead of wrapping. Proposal budgets are
+/// products of caller-supplied knobs (max_proposals_per_edge × quota); a
+/// silent wrap can collapse the budget to ~0 and make a sampler return an
+/// empty graph, so budget math saturates instead.
+inline uint64_t SaturatingMul(uint64_t a, uint64_t b) {
+  if (a != 0 && b > std::numeric_limits<uint64_t>::max() / a) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return a * b;
+}
+
+/// a + b clamped to UINT64_MAX instead of wrapping.
+inline uint64_t SaturatingAdd(uint64_t a, uint64_t b) {
+  const uint64_t sum = a + b;
+  return sum < a ? std::numeric_limits<uint64_t>::max() : sum;
+}
+
+}  // namespace agmdp::util

@@ -1,14 +1,27 @@
-// Deterministic static parallelism for the read-only analytics kernels.
+// Deterministic parallelism utilities — the ONE threading layer of the
+// library (DESIGN.md "Determinism contract" / "Hot-path memory layout").
 //
-// The contract (DESIGN.md "The snapshot layer"): work is split into
-// contiguous ranges of [0, n); every output slot is written by exactly one
-// range, and floating-point reductions happen OUTSIDE this helper,
-// sequentially, in a fixed order — so kernel results are bitwise-identical
-// at any thread count. No util::Rng is involved anywhere on this path.
+// Two execution styles share it:
+//   * ParallelNodeRanges / ParallelTally — spawn-per-call static partitions
+//     for the read-only analytics kernels: work is split into contiguous
+//     ranges of [0, n); every output slot is written by exactly one range,
+//     and floating-point reductions happen OUTSIDE this helper,
+//     sequentially, in a fixed order.
+//   * WorkerPool — a persistent pool for the sampler hot path, where a
+//     single AGM sample dispatches many small task batches (one sharded
+//     proposal pass plus one Θ'F measurement per acceptance iteration) and
+//     spawn-per-call thread creation would dominate the batch cost.
+//
+// Neither style owns any util::Rng: randomness, when present, comes from
+// fixed per-task substreams chosen by the caller, so results are
+// bitwise-identical at any thread count.
 #pragma once
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -63,5 +76,114 @@ void ParallelTally(uint64_t n, int threads, MakeLocal&& make_local,
     merge(local);
   });
 }
+
+/// \brief Persistent worker pool dispatching indexed task batches.
+///
+/// Construction spawns `ResolveThreadCount(threads) - 1` workers that park
+/// on a condition variable between batches; `Run(num_tasks, fn)` hands out
+/// task indices 0..num_tasks-1 through a shared atomic counter (the calling
+/// thread participates) and returns once every task has finished. Which
+/// worker executes which index is unspecified — callers own determinism by
+/// making each task a pure function of its index (fixed Rng substreams,
+/// disjoint output slots) and by merging results in index order themselves.
+class WorkerPool {
+ public:
+  explicit WorkerPool(int threads) {
+    const int n = std::max(1, ResolveThreadCount(threads));
+    num_workers_ = n;
+    workers_.reserve(n - 1);
+    for (int i = 0; i < n - 1; ++i) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~WorkerPool() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread& worker : workers_) worker.join();
+  }
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Total workers, including the thread that calls Run.
+  int num_workers() const { return num_workers_; }
+
+  /// Runs fn(0), ..., fn(num_tasks - 1), each exactly once, and returns
+  /// when all have completed. fn must not throw and must not call Run on
+  /// the same pool (no nesting).
+  void Run(int num_tasks, const std::function<void(int)>& fn) {
+    if (num_tasks <= 0) return;
+    if (workers_.empty() || num_tasks == 1) {
+      for (int i = 0; i < num_tasks; ++i) fn(i);
+      return;
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A worker from the previous batch may still be draining its final
+      // (empty) counter fetch; batch state is only mutated once none are.
+      idle_.wait(lock, [this] { return active_ == 0; });
+      fn_ = &fn;
+      num_tasks_ = num_tasks;
+      remaining_.store(num_tasks, std::memory_order_relaxed);
+      next_.store(0, std::memory_order_relaxed);
+      ++batch_;
+    }
+    wake_.notify_all();
+    Drain();
+    std::unique_lock<std::mutex> lock(mu_);
+    done_.wait(lock, [this] {
+      return remaining_.load(std::memory_order_acquire) == 0;
+    });
+  }
+
+ private:
+  // Pulls task indices until the batch counter is exhausted.
+  void Drain() {
+    const int limit = num_tasks_;
+    const std::function<void(int)>& fn = *fn_;
+    for (;;) {
+      const int i = next_.fetch_add(1, std::memory_order_relaxed);
+      if (i >= limit) return;
+      fn(i);
+      if (remaining_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        { const std::lock_guard<std::mutex> lock(mu_); }
+        done_.notify_all();
+      }
+    }
+  }
+
+  void WorkerLoop() {
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      wake_.wait(lock, [&] { return shutdown_ || batch_ != seen; });
+      if (shutdown_) return;
+      seen = batch_;
+      ++active_;
+      lock.unlock();
+      Drain();
+      lock.lock();
+      if (--active_ == 0) idle_.notify_one();
+    }
+  }
+
+  std::mutex mu_;
+  std::condition_variable wake_;
+  std::condition_variable idle_;
+  std::condition_variable done_;
+  uint64_t batch_ = 0;
+  int active_ = 0;
+  bool shutdown_ = false;
+  const std::function<void(int)>* fn_ = nullptr;
+  int num_tasks_ = 0;
+  std::atomic<int> next_{0};
+  std::atomic<int> remaining_{0};
+  std::vector<std::thread> workers_;
+  int num_workers_ = 1;
+};
 
 }  // namespace agmdp::util

@@ -189,6 +189,18 @@ TEST(ChungLuTest, FilterSuppressesEdges) {
   EXPECT_EQ(g.value().num_edges(), 0u);  // budget exhausted, no stall
 }
 
+TEST(ChungLuTest, ExtremeProposalBudgetSaturatesInsteadOfWrapping) {
+  util::Rng rng(91);
+  std::vector<uint32_t> degrees(50, 4);  // target = 100 edges (even)
+  ChungLuOptions options;
+  // 2^63 per edge: an even target wraps the product to exactly 0, which
+  // used to exhaust the "budget" before the first proposal.
+  options.max_proposals_per_edge = 1ULL << 63;
+  auto g = FastChungLu(degrees, rng, options);
+  ASSERT_TRUE(g.ok());
+  EXPECT_GT(g.value().num_edges(), 0u);
+}
+
 TEST(ChungLuTest, InsertionOrderRecorded) {
   util::Rng rng(10);
   std::vector<uint32_t> degrees(30, 3);

@@ -23,14 +23,22 @@ import sys
 MIN_BASELINE_SECONDS = 5e-4
 
 REQUIRED_TRUE_FLAGS = ["sampler_deterministic_1_2_4", "csr_deterministic_1_2_4"]
-REQUIRED_KEYS = ["hardware_concurrency", "csr_analytics_seconds"]
+REQUIRED_KEYS = [
+    "hardware_concurrency",
+    "csr_analytics_seconds",
+    "sampler_hotpath_seconds",
+]
 
-# The headline property, gated machine-independently: both paths are timed
-# on the same runner in the same process, so CSR triangle+clustering must
-# beat the adjacency-list path regardless of runner hardware. The margin
-# below 1.0 absorbs scheduling noise on shared runners (the real ratio is
-# ~2x; a genuine regression lands far below this).
+# The headline properties, gated machine-independently: each ratio compares
+# two implementations timed on the same runner in the same process, so it
+# must hold regardless of runner hardware. Margins below the real ratios
+# absorb scheduling noise on shared runners (CSR is ~2x, the flat hot path
+# ~1.5-2x; a genuine regression lands far below these floors).
 MIN_CSR_SPEEDUP = 0.8
+# Flat-memory sampler hot path (PR 4): FlatEdgeSet dedup + dense acceptance
+# table vs std::unordered_set + std::function on the same proposal stream.
+MIN_HOTPATH_SPEEDUP = 1.0
+MIN_EDGE_SET_SPEEDUP = 1.0
 
 
 def timing_leaves(doc, prefix="", in_seconds=False):
@@ -67,15 +75,22 @@ def main(argv):
             failures.append(f"correctness flag '{flag}' is not true: "
                             f"{fresh.get(flag)!r}")
 
-    speedup = fresh.get("csr_triangle_clustering_speedup_1t")
-    if not isinstance(speedup, (int, float)) or speedup <= MIN_CSR_SPEEDUP:
-        failures.append(
-            f"csr_triangle_clustering_speedup_1t = {speedup!r}: the CSR "
-            f"snapshot kernels must beat the adjacency-list path "
-            f"(> {MIN_CSR_SPEEDUP:.1f}x; both sides timed on this runner)")
-    else:
-        print(f"csr vs adjacency speedup: {speedup:.2f}x "
-              f"(must exceed {MIN_CSR_SPEEDUP:.1f}x)")
+    speedup_gates = [
+        ("csr_triangle_clustering_speedup_1t", MIN_CSR_SPEEDUP,
+         "the CSR snapshot kernels must beat the adjacency-list path"),
+        ("sampler_hotpath_speedup", MIN_HOTPATH_SPEEDUP,
+         "the flat proposal loop must beat the legacy-equivalent mechanics"),
+        ("edge_set_speedup", MIN_EDGE_SET_SPEEDUP,
+         "FlatEdgeSet must beat std::unordered_set on the edge workload"),
+    ]
+    for key, floor, why in speedup_gates:
+        speedup = fresh.get(key)
+        if not isinstance(speedup, (int, float)) or speedup <= floor:
+            failures.append(
+                f"{key} = {speedup!r}: {why} "
+                f"(> {floor:.1f}x; both sides timed on this runner)")
+        else:
+            print(f"{key}: {speedup:.2f}x (must exceed {floor:.1f}x)")
 
     if fresh.get("scale") != baseline.get("scale"):
         failures.append(
