@@ -26,6 +26,7 @@
 #include <cmath>
 #include <cstdio>
 #include <functional>
+#include <memory>
 #include <string>
 #include <thread>
 #include <unordered_set>
@@ -46,6 +47,7 @@
 #include "src/models/chung_lu.h"
 #include "src/models/edge_filter.h"
 #include "src/models/tricycle.h"
+#include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/util/alias_sampler.h"
 #include "src/util/flat_edge_set.h"
@@ -434,6 +436,127 @@ int main(int argc, char** argv) {
                 deterministic ? "yes" : "NO");
     AGMDP_CHECK_MSG(deterministic,
                     "sampler output differs across thread counts");
+  }
+
+  // -------------------------------------------------------------- serving
+  // The fit-once / sample-many serving layer vs the pre-serving protocol
+  // (one full RunPrivateRelease per synthetic graph). The baseline refits —
+  // and re-converges the acceptance loop — per release; the ReleaseEngine
+  // pays fit + calibration once and serves each release as one filtered
+  // generation from the calibrated acceptance vector. Both sides run
+  // single-threaded in this process, so serving_throughput_speedup gates
+  // machine-independently; the 2t/4t SampleMany rows show the additional
+  // cross-sample parallelism on multi-core hosts (bitwise-identical output,
+  // asserted here).
+  {
+    pipeline::PipelineConfig config;
+    config.epsilon = std::log(2.0);
+    config.model = "fcl";
+    config.sample.acceptance_iterations = 2;
+    constexpr int kReleases = 8;
+
+    json.Key("serving_seconds").BeginObject();
+    auto entry = [&](const std::string& name, double seconds) {
+      json.Key(name).Value(seconds);
+      std::printf("%-28s %10.3f ms\n", ("serving/" + name).c_str(),
+                  1e3 * seconds);
+    };
+
+    // Baseline: every release pays the full fit + cold sample.
+    const double baseline_seconds = TimeBest(trials, [&] {
+      util::Rng rng(31);
+      for (int i = 0; i < kReleases; ++i) {
+        auto release = pipeline::RunPrivateRelease(input, config, rng);
+        AGMDP_CHECK_MSG(release.ok(), release.status().ToString().c_str());
+      }
+    });
+    entry("repeated_release_" + std::to_string(kReleases) + "x",
+          baseline_seconds);
+
+    // The artifact exchange `agmdp fit` / `agmdp sample` perform.
+    util::Rng fit_rng(32);
+    auto fitted = pipeline::FitReleaseArtifact(input, config, fit_rng);
+    AGMDP_CHECK_MSG(fitted.ok(), fitted.status().ToString().c_str());
+    const std::string artifact_path = out_path + ".artifact";
+    entry("artifact_write", TimeBest(trials, [&] {
+      auto st = pipeline::WriteReleaseArtifact(fitted.value(), artifact_path);
+      AGMDP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }));
+    pipeline::ReleaseArtifact artifact;
+    entry("artifact_load", TimeBest(trials, [&] {
+      auto loaded = pipeline::ReadReleaseArtifact(artifact_path);
+      AGMDP_CHECK_MSG(loaded.ok(), loaded.status().ToString().c_str());
+      artifact = std::move(loaded).value();
+    }));
+    std::remove(artifact_path.c_str());
+
+    // Engine construction, calibration sample included.
+    std::unique_ptr<pipeline::ReleaseEngine> engine;
+    entry("engine_create_calibrated", TimeBest(trials, [&] {
+      pipeline::EngineOptions options;
+      options.threads = 1;
+      options.sample = config.sample;
+      auto created = pipeline::ReleaseEngine::Create(artifact, options);
+      AGMDP_CHECK_MSG(created.ok(), created.status().ToString().c_str());
+      engine = std::move(created).value();
+    }));
+
+    // Single-request latency (the per-request cost an online server pays).
+    pipeline::SampleRequest base;
+    base.seed = 33;
+    entry("sample_single", TimeBest(trials, [&] {
+      auto g = engine->Sample(base);
+      AGMDP_CHECK_MSG(g.ok(), g.status().ToString().c_str());
+    }));
+
+    // Batched serving at 1/2/4 pool workers: identical bits at every pool
+    // size, and identical to a sequential Sample loop over the same
+    // requests.
+    std::vector<graph::AttributedGraph> sequential;
+    for (int i = 0; i < kReleases; ++i) {
+      pipeline::SampleRequest request = base;
+      request.sequence = static_cast<uint64_t>(i);
+      auto g = engine->Sample(request);
+      AGMDP_CHECK_MSG(g.ok(), g.status().ToString().c_str());
+      sequential.push_back(std::move(g).value());
+    }
+    bool deterministic = true;
+    double many_1t = 0.0;
+    for (int threads : {1, 2, 4}) {
+      pipeline::EngineOptions options;
+      options.threads = threads;
+      options.sample = config.sample;
+      auto created = pipeline::ReleaseEngine::Create(artifact, options);
+      AGMDP_CHECK_MSG(created.ok(), created.status().ToString().c_str());
+      std::vector<graph::AttributedGraph> served;
+      const double seconds = TimeBest(trials, [&] {
+        auto graphs = created.value()->SampleMany(kReleases, base);
+        AGMDP_CHECK_MSG(graphs.ok(), graphs.status().ToString().c_str());
+        served = std::move(graphs).value();
+      });
+      for (int i = 0; i < kReleases; ++i) {
+        deterministic = deterministic &&
+                        SameGraph(sequential[static_cast<size_t>(i)],
+                                  served[static_cast<size_t>(i)]);
+      }
+      if (threads == 1) many_1t = seconds;
+      entry("sample_many_" + std::to_string(kReleases) + "x_" +
+                std::to_string(threads) + "t",
+            seconds);
+      std::printf("serving releases/sec @%dt     %10.1f\n", threads,
+                  seconds > 0.0 ? kReleases / seconds : 0.0);
+    }
+
+    json.EndObject();
+    const double speedup =
+        many_1t > 0.0 ? baseline_seconds / many_1t : 0.0;
+    json.Key("serving_throughput_speedup").Value(speedup);
+    json.Key("serving_deterministic_1_2_4").Value(deterministic);
+    std::printf("serving throughput speedup    %10.2fx (deterministic: %s)\n",
+                speedup, deterministic ? "yes" : "NO");
+    AGMDP_CHECK_MSG(deterministic,
+                    "served samples differ across pool sizes or from "
+                    "sequential serving");
   }
 
   json.EndObject();

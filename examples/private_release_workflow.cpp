@@ -2,10 +2,18 @@
 // introduction. A data owner holds a sensitive attributed social graph and
 // wants to hand analysts synthetic graphs they can explore freely.
 //
+// The serving-layer shape (Theorem 2): the owner fits the AGM parameters
+// ONCE under the privacy accountant — that fit is the release — stores
+// them as a release artifact, and then serves as many synthetic graphs as
+// analysts ask for from a ReleaseEngine. Sampling is pure post-processing,
+// so the owner's total privacy exposure is one epsilon, independent of how
+// many graphs are served.
+//
 // Steps: load (or build) the private graph -> pick a privacy budget ->
-// run pipeline::RunPrivateRelease for several independent releases ->
-// audit each release's budget ledger -> evaluate against the input ->
-// persist as edge/attribute files.
+// pipeline::FitReleaseArtifact (the only step that reads the data) ->
+// audit the ledger -> persist the artifact -> reload it and build a
+// ReleaseEngine -> serve a batch of synthetic graphs -> evaluate each
+// against the input -> persist as edge/attribute files.
 //
 //   ./private_release_workflow [--epsilon=0.69] [--releases=3]
 //                              [--dataset=petster] [--model=tricycle]
@@ -16,6 +24,7 @@
 
 #include "src/datasets/datasets.h"
 #include "src/graph/graph_io.h"
+#include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/stats/summary.h"
 #include "src/util/flags.h"
@@ -46,52 +55,84 @@ int main(int argc, char** argv) {
                                    stats::Summarize(input.value().structure()))
                   .c_str());
 
-  // IMPORTANT privacy note: each release consumes its own epsilon; by
-  // sequential composition the owner's total exposure is releases * epsilon.
-  std::printf("total privacy cost: %d x %.3f = %.3f\n\n", releases,
-              config.epsilon, releases * config.epsilon);
+  // IMPORTANT privacy note: the parameters are the release. Fitting them
+  // consumes epsilon once; every sample drawn afterwards is free
+  // post-processing, so serving more graphs costs nothing extra.
+  std::printf("total privacy cost: %.3f (one fit; %d samples are free)\n\n",
+              config.epsilon, releases);
+
+  // ---- fit once (the only step that touches the sensitive graph) ----
+  auto fitted = pipeline::FitReleaseArtifact(input.value(), config, rng);
+  if (!fitted.ok()) {
+    std::fprintf(stderr, "fit failed: %s\n",
+                 fitted.status().ToString().c_str());
+    return 1;
+  }
+
+  // The audit trail: the ledger of DP spends, summing to epsilon, travels
+  // inside the artifact.
+  std::printf("ledger:");
+  double spent = 0.0;
+  for (const auto& [label, eps] : fitted.value().ledger) {
+    std::printf(" %s=%.4f", label.c_str(), eps);
+    spent += eps;
+  }
+  std::printf(" (total %.4f / %.4f)\n", spent,
+              fitted.value().epsilon_budget);
+
+  // ---- persist and reload the artifact (what `agmdp fit` hands to
+  // `agmdp sample`, possibly on another machine) ----
+  const std::string artifact_path = out + ".artifact.json";
+  if (auto st = pipeline::WriteReleaseArtifact(fitted.value(), artifact_path);
+      !st.ok()) {
+    std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  auto artifact = pipeline::ReadReleaseArtifact(artifact_path);
+  if (!artifact.ok()) {
+    std::fprintf(stderr, "reload: %s\n", artifact.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("artifact -> %s (model=%s, fingerprint=%llu)\n\n",
+              artifact_path.c_str(), artifact.value().model.c_str(),
+              static_cast<unsigned long long>(
+                  artifact.value().config_fingerprint));
+
+  // ---- build the serving engine and draw the whole batch ----
+  pipeline::EngineOptions engine_options;
+  engine_options.threads = config.sample.threads;
+  engine_options.sample = config.sample;
+  auto engine = pipeline::ReleaseEngine::Create(std::move(artifact).value(),
+                                                engine_options);
+  if (!engine.ok()) {
+    std::fprintf(stderr, "engine: %s\n", engine.status().ToString().c_str());
+    return 1;
+  }
+  pipeline::SampleRequest base;
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  auto graphs = engine.value()->SampleMany(releases, base);
+  if (!graphs.ok()) {
+    std::fprintf(stderr, "serve: %s\n", graphs.status().ToString().c_str());
+    return 1;
+  }
 
   for (int i = 0; i < releases; ++i) {
-    auto result = pipeline::RunPrivateRelease(input.value(), config, rng);
-    if (!result.ok()) {
-      std::fprintf(stderr, "release %d failed: %s\n", i,
-                   result.status().ToString().c_str());
-      return 1;
-    }
-    const pipeline::ReleaseResult& release = result.value();
+    const graph::AttributedGraph& g = graphs.value()[static_cast<size_t>(i)];
     const std::string prefix = out + "_" + std::to_string(i);
-    if (auto st = graph::WriteAttributedGraph(release.graph, prefix);
-        !st.ok()) {
+    if (auto st = graph::WriteAttributedGraph(g, prefix); !st.ok()) {
       std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
       return 1;
     }
-    stats::UtilityErrors e =
-        stats::CompareGraphs(input.value(), release.graph);
+    stats::UtilityErrors e = stats::CompareGraphs(input.value(), g);
     std::printf("release %d -> %s.{edges,attrs}\n", i, prefix.c_str());
     std::printf("%s\n",
-                stats::FormatSummary(
-                    "  synthetic",
-                    stats::Summarize(release.graph.structure()))
+                stats::FormatSummary("  synthetic",
+                                     stats::Summarize(g.structure()))
                     .c_str());
-
-    // The audit trail: the ledger of DP spends, summing to epsilon, plus
-    // where the wall-clock went.
-    std::printf("  ledger:");
-    double spent = 0.0;
-    for (const auto& [label, eps] : release.ledger) {
-      std::printf(" %s=%.4f", label.c_str(), eps);
-      spent += eps;
-    }
-    std::printf(" (total %.4f / %.4f)\n", spent, release.epsilon_budget);
-    std::printf("  stages:");
-    for (const auto& stage : release.stage_seconds) {
-      std::printf(" %s=%.0fms", stage.stage.c_str(), 1e3 * stage.seconds);
-    }
-    std::printf("  [%.2f s total]\n", release.total_seconds);
     std::printf("  H_ThetaF=%.4f KS_S=%.4f tri_re=%.4f m_re=%.4f\n\n",
                 e.theta_f_hellinger, e.degree_ks, e.triangles_re, e.edges_re);
   }
-  std::printf("done. Analysts can now run exploratory queries on the\n"
-              "released files without further privacy accounting.\n");
+  std::printf("done. Analysts can request more samples from the stored\n"
+              "artifact at any time without further privacy accounting.\n");
   return 0;
 }

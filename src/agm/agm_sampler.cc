@@ -71,11 +71,11 @@ std::vector<double> ComputeAcceptanceProbabilities(
 
 namespace {
 
-// The fixed shard count of the parallel hot path. Work is always split into
-// this many shards — never into `threads` shards — so the per-shard random
-// sub-streams, and therefore the merged output, do not depend on how many
-// workers happen to execute them.
-constexpr int kProposalShards = 64;
+// The fixed shard count of the parallel hot path (kSamplerProposalShards,
+// agm_sampler.h). Work is always split into this many shards — never into
+// `threads` shards — so the per-shard random sub-streams, and therefore the
+// merged output, do not depend on how many workers happen to execute them.
+constexpr int kProposalShards = kSamplerProposalShards;
 
 // Worker count for the sampler's persistent pool: the hardware concurrency
 // (or the explicit request), never more than the shard count.
@@ -320,11 +320,23 @@ util::Result<graph::AttributedGraph> SampleAgmGraph(
         "SampleAgmGraph: parameter dimensions do not match w");
   }
   const auto n = static_cast<graph::NodeId>(params.degree_sequence.size());
+  const std::vector<double>* warm = options.initial_acceptance;
+  if (warm != nullptr && warm->size() != graph::NumEdgeConfigs(params.w)) {
+    return util::Status::InvalidArgument(
+        "SampleAgmGraph: initial_acceptance dimension does not match w");
+  }
 
   // The pool and the FCL invariants (pi weights + alias table) live for the
   // whole sample: one thread spawn and one alias build per sample, not one
-  // per acceptance iteration.
-  util::WorkerPool pool(SamplerWorkers(options.threads));
+  // per acceptance iteration. A caller-provided pool (the serving layer's
+  // persistent one) removes even the per-sample spawn.
+  std::optional<util::WorkerPool> owned_pool;
+  util::WorkerPool* pool_ptr = options.pool;
+  if (pool_ptr == nullptr) {
+    owned_pool.emplace(SamplerWorkers(options.threads));
+    pool_ptr = &*owned_pool;
+  }
+  util::WorkerPool& pool = *pool_ptr;
   std::optional<FclPlan> plan_storage;
   const FclPlan* fcl_plan = nullptr;
   if (!options.generator && options.model == StructuralModelKind::kFcl) {
@@ -338,16 +350,24 @@ util::Result<graph::AttributedGraph> SampleAgmGraph(
   auto attrs = SampleAttributes(params.theta_x, n, rng);
   if (!attrs.ok()) return attrs.status();
 
-  // Line 7: temporary edge set, no acceptance filtering yet.
-  auto structure = GenerateStructure(params, options, attrs.value(), {},
-                                     fcl_plan, pool, rng);
+  // Line 7: temporary edge set. The cold start generates it unfiltered;
+  // a warm start (serving layer) filters it by the calibrated acceptance
+  // vector straight away. (kNoAcceptance keeps the ternary from copying
+  // the warm vector — a mixed-category ternary materializes a prvalue.)
+  static const std::vector<double> kNoAcceptance;
+  auto structure =
+      GenerateStructure(params, options, attrs.value(),
+                        warm != nullptr ? *warm : kNoAcceptance,
+                        fcl_plan, pool, rng);
   if (!structure.ok()) return structure.status();
 
   graph::AttributedGraph synthetic(std::move(structure).value(), params.w);
   AGMDP_CHECK_OK(synthetic.SetAttributes(attrs.value()));
 
-  // Lines 9-18: iterate acceptance probabilities to convergence.
-  std::vector<double> a_old;
+  // Lines 9-18: iterate acceptance probabilities to convergence (starting
+  // from the warm-start vector when one was supplied).
+  std::vector<double> a_old =
+      warm != nullptr ? *warm : std::vector<double>{};
   for (int iter = 0; iter < options.acceptance_iterations; ++iter) {
     const std::vector<double> observed =
         MeasureThetaFWithPool(synthetic, pool);
@@ -369,6 +389,9 @@ util::Result<graph::AttributedGraph> SampleAgmGraph(
 
     a_old = std::move(acceptance);
     if (iter > 0 && delta < options.acceptance_tolerance) break;
+  }
+  if (options.final_acceptance != nullptr) {
+    *options.final_acceptance = a_old;
   }
   return synthetic;
 }

@@ -22,10 +22,21 @@
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
+namespace agmdp::util {
+class WorkerPool;
+}  // namespace agmdp::util
+
 namespace agmdp::agm {
 
 /// Which structural model M the AGM pipeline plugs in.
 enum class StructuralModelKind { kFcl, kTriCycLe };
+
+/// The fixed shard count of the sampler's parallel hot path (work is always
+/// split into this many shards, never into `threads` shards — the
+/// determinism contract). Exported so pool-owning callers
+/// (pipeline::ReleaseEngine) can cap their worker counts at the number of
+/// shards that can ever run at once.
+inline constexpr int kSamplerProposalShards = 64;
 
 /// The three AGM parameter sets (plus w); ΘM is the degree sequence and —
 /// for TriCycLe — the triangle count.
@@ -71,6 +82,27 @@ struct AgmSampleOptions {
   /// target mass (prevents live-locking the proposal loops; deviation
   /// documented in DESIGN.md).
   double min_acceptance = 1e-3;
+  /// Borrowed worker pool for the sampler hot path. When null (the
+  /// default) SampleAgmGraph spawns its own pool per call; the serving
+  /// layer (pipeline::ReleaseEngine) passes its persistent pool instead so
+  /// repeated sampling pays zero thread-spawn cost. The pool never affects
+  /// output (see the determinism notes on `threads`), and `threads` is
+  /// ignored when a pool is supplied.
+  util::WorkerPool* pool = nullptr;
+  /// Warm-start acceptance vector A (size NumEdgeConfigs(w)). When set, the
+  /// first structural generation is already filtered by it and the
+  /// refinement loop starts from it as A_old — the serving layer passes the
+  /// acceptance vector a calibration sample converged to, so steady-state
+  /// samples skip the cold iterations. Null reproduces the paper's cold
+  /// start (unfiltered first generation).
+  const std::vector<double>* initial_acceptance = nullptr;
+  /// When non-null, receives the final acceptance vector of this sample —
+  /// what a warm start of the next sample should pass as
+  /// `initial_acceptance`. With zero iterations this is the warm-start
+  /// vector passed straight through (so chained warm starts keep their
+  /// calibration); it is empty only on a cold start where no iteration
+  /// ran.
+  std::vector<double>* final_acceptance = nullptr;
   models::TriCycLeOptions tricycle;
   models::ChungLuOptions fcl;
 };

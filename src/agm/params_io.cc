@@ -1,5 +1,6 @@
 #include "src/agm/params_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 
@@ -10,10 +11,72 @@ namespace agmdp::agm {
 namespace {
 constexpr char kMagic[] = "agmdp-params";
 constexpr int kVersion = 1;
+
+util::Status BadTheta(const char* which, size_t index, double value) {
+  std::ostringstream message;
+  message << which << "[" << index << "] = " << value
+          << " is not a finite non-negative probability mass";
+  return util::Status::InvalidArgument(message.str());
+}
+
+// Reads a non-negative integer field into `out`, rejecting the wrapped
+// values istream extraction would otherwise accept for "-1".
+bool ReadCount(std::istream& in, uint64_t limit, uint64_t* out) {
+  int64_t raw = 0;
+  if (!(in >> raw) || raw < 0 || static_cast<uint64_t>(raw) > limit) {
+    return false;
+  }
+  *out = static_cast<uint64_t>(raw);
+  return true;
+}
+
+// Fills `out` with `count` stream-extracted doubles. push_back (not a
+// resize) on purpose: allocation grows only as values actually arrive, so
+// a corrupt count over a truncated file fails at the first missing value
+// instead of reserving gigabytes up front.
+bool ReadDoubles(std::istream& in, uint64_t count, std::vector<double>* out) {
+  out->clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    double value = 0.0;
+    if (!(in >> value)) return false;
+    out->push_back(value);
+  }
+  return true;
+}
 }  // namespace
+
+util::Status ValidateAgmParams(const AgmParams& params) {
+  // w is capped at 16: beyond that the triangular edge-config count
+  // C(2^w + 1, 2) overflows NumEdgeConfigs's uint32 range, so a dimension
+  // check against the truncated value would wave through short theta_f
+  // vectors that the sampler then indexes out of bounds.
+  if (params.w < 0 || params.w > 16) {
+    return util::Status::InvalidArgument(
+        "params: w must be in [0, 16], got " + std::to_string(params.w));
+  }
+  if (params.theta_x.size() != graph::NumNodeConfigs(params.w) ||
+      params.theta_f.size() != graph::NumEdgeConfigs(params.w)) {
+    return util::Status::InvalidArgument(
+        "params: theta dimensions inconsistent with w=" +
+        std::to_string(params.w));
+  }
+  for (size_t y = 0; y < params.theta_x.size(); ++y) {
+    const double p = params.theta_x[y];
+    if (!std::isfinite(p) || p < 0.0) return BadTheta("theta_x", y, p);
+  }
+  for (size_t y = 0; y < params.theta_f.size(); ++y) {
+    const double p = params.theta_f[y];
+    if (!std::isfinite(p) || p < 0.0) return BadTheta("theta_f", y, p);
+  }
+  if (params.degree_sequence.empty()) {
+    return util::Status::InvalidArgument("params: empty degree sequence");
+  }
+  return util::Status::OK();
+}
 
 util::Status WriteAgmParams(const AgmParams& params,
                             const std::string& path) {
+  if (auto st = ValidateAgmParams(params); !st.ok()) return st;
   std::ofstream out(path, std::ios::trunc);
   if (!out.is_open()) {
     return util::Status::IoError("cannot open for writing: " + path);
@@ -47,45 +110,50 @@ util::Result<AgmParams> ReadAgmParams(const std::string& path) {
   }
   AgmParams params;
   std::string tag;
-  size_t count = 0;
+  uint64_t count = 0;
 
   if (!(in >> tag >> params.w) || tag != "w" || params.w < 0 ||
-      params.w > 20) {
+      params.w > 16) {
     return util::Status::IoError("bad w field in " + path);
   }
 
-  if (!(in >> tag >> count) || tag != "theta_x") {
-    return util::Status::IoError("bad theta_x field in " + path);
-  }
-  params.theta_x.resize(count);
-  for (double& p : params.theta_x) {
-    if (!(in >> p)) return util::Status::IoError("truncated theta_x");
+  // Counts are bounded by what *this* w's parameter set can hold (w was
+  // just parsed, so the exact dimensions are known), and the vectors grow
+  // only as values actually arrive — a corrupted length cannot drive a
+  // huge allocation. Values are validated below before the params escape
+  // this function.
+  constexpr uint64_t kMaxDegreeCount = uint64_t{1} << 31;
+
+  if (!(in >> tag) || tag != "theta_x" ||
+      !ReadCount(in, graph::NumNodeConfigs(params.w), &count) ||
+      !ReadDoubles(in, count, &params.theta_x)) {
+    return util::Status::IoError("bad or truncated theta_x in " + path);
   }
 
-  if (!(in >> tag >> count) || tag != "theta_f") {
-    return util::Status::IoError("bad theta_f field in " + path);
-  }
-  params.theta_f.resize(count);
-  for (double& p : params.theta_f) {
-    if (!(in >> p)) return util::Status::IoError("truncated theta_f");
+  if (!(in >> tag) || tag != "theta_f" ||
+      !ReadCount(in, graph::NumEdgeConfigs(params.w), &count) ||
+      !ReadDoubles(in, count, &params.theta_f)) {
+    return util::Status::IoError("bad or truncated theta_f in " + path);
   }
 
-  if (!(in >> tag >> count) || tag != "degrees") {
+  if (!(in >> tag) || tag != "degrees" ||
+      !ReadCount(in, kMaxDegreeCount, &count)) {
     return util::Status::IoError("bad degrees field in " + path);
   }
-  params.degree_sequence.resize(count);
-  for (uint32_t& d : params.degree_sequence) {
-    if (!(in >> d)) return util::Status::IoError("truncated degrees");
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t degree = 0;
+    if (!ReadCount(in, 0xffffffffu, &degree)) {
+      return util::Status::IoError("bad or truncated degrees in " + path);
+    }
+    params.degree_sequence.push_back(static_cast<uint32_t>(degree));
   }
 
-  if (!(in >> tag >> params.target_triangles) || tag != "triangles") {
+  if (!(in >> tag) || tag != "triangles" ||
+      !ReadCount(in, ~uint64_t{0} >> 1, &params.target_triangles)) {
     return util::Status::IoError("bad triangles field in " + path);
   }
 
-  if (params.theta_x.size() != graph::NumNodeConfigs(params.w) ||
-      params.theta_f.size() != graph::NumEdgeConfigs(params.w)) {
-    return util::Status::IoError("parameter dimensions inconsistent with w");
-  }
+  if (auto st = ValidateAgmParams(params); !st.ok()) return st;
   return params;
 }
 

@@ -13,6 +13,14 @@
 
 namespace agmdp::agm {
 
+/// Structural validation of a parameter set: w in [0, 16] (beyond that the
+/// triangular edge-config count overflows uint32), theta dimensions
+/// consistent with w, every theta entry finite and non-negative. Shared by
+/// the params reader/writer, the release-artifact codec, and
+/// pipeline::ReleaseEngine, so garbage parameters are rejected at every
+/// boundary instead of propagating into the sampler.
+util::Status ValidateAgmParams(const AgmParams& params);
+
 util::Status WriteAgmParams(const AgmParams& params, const std::string& path);
 util::Result<AgmParams> ReadAgmParams(const std::string& path);
 

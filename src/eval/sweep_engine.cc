@@ -7,6 +7,7 @@
 
 #include "src/datasets/datasets.h"
 #include "src/graph/csr.h"
+#include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"
@@ -46,6 +47,65 @@ util::Status ValidateSpec(const std::vector<SweepInput>& inputs,
   return util::Status::OK();
 }
 
+// Fit-once / sample-many cell: one fully accounted fit, repeats served by
+// a ReleaseEngine over the resulting artifact. Every draw is a pure
+// function of (spec, cell_index), so the contract of RunCell holds.
+void RunCellReuseFit(const SweepInput& input,
+                     const ReferenceProfile& reference, const SweepSpec& spec,
+                     const pipeline::PipelineConfig& config,
+                     uint64_t cell_index, SweepCell* cell) {
+  const Clock::time_point start = Clock::now();
+  util::Rng rng = util::Rng::Substream(
+      spec.seed, cell_index * static_cast<uint64_t>(spec.repeats));
+  auto artifact = pipeline::FitReleaseArtifact(input.graph, config, rng);
+  if (!artifact.ok()) {
+    cell->error = artifact.status().ToString();
+    return;
+  }
+  const double spent = artifact.value().epsilon_spent;
+
+  pipeline::EngineOptions engine_options;
+  engine_options.threads = spec.sampler_threads;
+  // No calibration warm start: every repeat runs the paper's cold
+  // acceptance loop at the spec's iteration count, so reuse_fit changes
+  // only the fitting protocol, not the sampling one — cells stay
+  // comparable against the default refit grid.
+  engine_options.calibrate = false;
+  engine_options.sample = config.sample;
+  auto engine = pipeline::ReleaseEngine::Create(std::move(artifact).value(),
+                                                engine_options);
+  if (!engine.ok()) {
+    cell->error = engine.status().ToString();
+    return;
+  }
+
+  // The request family is keyed off the cell's fit stream, so it is a pure
+  // function of the spec and disjoint from other cells' draws.
+  pipeline::SampleRequest base;
+  base.seed = rng.Next();
+  auto graphs = engine.value()->SampleMany(spec.repeats, base);
+  // Stop the clock before evaluation, mirroring the default path (which
+  // times RunPrivateRelease only) so seconds_mean stays comparable
+  // between the two modes.
+  const double cell_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  if (!graphs.ok()) {
+    cell->error = graphs.status().ToString();
+    return;
+  }
+
+  ReportAccumulator accumulator;
+  for (const graph::AttributedGraph& g : graphs.value()) {
+    accumulator.Add(EvaluateRelease(reference,
+                                    graph::AttributedCsrGraph::FromGraph(g),
+                                    spec.analytics_threads));
+  }
+  cell->metrics = accumulator.Stats();
+  cell->fits = 1;
+  cell->epsilon_spent = spent;
+  cell->seconds_mean = cell_seconds / spec.repeats;
+}
+
 // Runs all repeats of one cell sequentially (ascending repeat index, so the
 // aggregation order — and therefore the floating-point result — does not
 // depend on scheduling). The original-side statistics arrive precomputed in
@@ -58,6 +118,11 @@ void RunCell(const SweepInput& input, const ReferenceProfile& reference,
   config.split = spec.split;
   config.sample.threads = spec.sampler_threads;
   config.sample.acceptance_iterations = spec.acceptance_iterations;
+
+  if (spec.reuse_fit) {
+    RunCellReuseFit(input, reference, spec, config, cell_index, cell);
+    return;
+  }
 
   ReportAccumulator accumulator;
   double seconds_sum = 0.0;
@@ -82,6 +147,7 @@ void RunCell(const SweepInput& input, const ReferenceProfile& reference,
         spec.analytics_threads));
   }
   cell->metrics = accumulator.Stats();
+  cell->fits = spec.repeats;
   cell->epsilon_spent = spent_sum / spec.repeats;
   cell->seconds_mean = seconds_sum / spec.repeats;
 }
@@ -180,7 +246,7 @@ util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec) {
       if (datasets::PaperSpec(id).name != name) continue;
       auto g = datasets::GenerateDataset(id, spec.dataset_scale, spec.seed);
       if (!g.ok()) return g.status();
-      inputs.push_back(SweepInput{name, std::move(g).value()});
+      inputs.push_back(SweepInput{name, std::move(g).value(), nullptr});
       found = true;
       break;
     }
@@ -195,13 +261,14 @@ std::string SweepResultToJson(const SweepResult& result,
                               bool include_timing) {
   util::JsonWriter json;
   json.BeginObject();
-  json.Key("schema").Value("agmdp.sweep.v2");
+  json.Key("schema").Value("agmdp.sweep.v3");
   json.Key("seed").Value(result.spec.seed);
   json.Key("repeats").Value(result.spec.repeats);
   json.Key("dataset_scale").Value(result.spec.dataset_scale);
   json.Key("sampler_threads").Value(result.spec.sampler_threads);
   json.Key("acceptance_iterations").Value(result.spec.acceptance_iterations);
   json.Key("analytics_threads").Value(result.spec.analytics_threads);
+  json.Key("reuse_fit").Value(result.spec.reuse_fit);
   json.Key("datasets").BeginArray();
   for (const std::string& name : result.input_names) json.Value(name);
   json.EndArray();
@@ -227,6 +294,7 @@ std::string SweepResultToJson(const SweepResult& result,
       continue;
     }
     json.Key("epsilon_spent").Value(cell.epsilon_spent);
+    json.Key("fits").Value(cell.fits);
     if (include_timing) {
       json.Key("seconds_mean").Value(cell.seconds_mean);
     }

@@ -8,7 +8,11 @@
 // util::Rng::Substream(spec.seed, c * spec.repeats + r), a pure function of
 // the spec — so results are bitwise-identical regardless of how cells are
 // scheduled onto worker threads, and SweepResultToJson(..., false) is
-// byte-identical across runs with the same spec and inputs.
+// byte-identical across runs with the same spec and inputs. With
+// `reuse_fit` the cell's single fit draws from Substream(spec.seed,
+// c * spec.repeats) and the repeats are served by a
+// pipeline::ReleaseEngine from a request family keyed off that stream —
+// still a pure function of the spec, at any worker count.
 #pragma once
 
 #include <cstdint>
@@ -48,6 +52,14 @@ struct SweepSpec {
   /// Per-release sampler settings (forwarded to PipelineConfig).
   int sampler_threads = 1;
   int acceptance_iterations = 2;
+  /// Fit-once / sample-many cells: fit the cell's parameters once (one
+  /// budget spend per cell) and draw the repeats from a
+  /// pipeline::ReleaseEngine over the resulting artifact. The default
+  /// refits per repeat — the paper's protocol, where every repeat is an
+  /// independent fully-accounted release. With reuse_fit the repeats share
+  /// one fit's noise draw, so per-cell stddevs reflect sampler variance
+  /// only; in exchange each cell costs one fit and spends epsilon once.
+  bool reuse_fit = false;
   /// Worker threads inside the CsrGraph analytics kernels when profiling
   /// inputs and evaluating releases (<= 0 = hardware concurrency). Results
   /// are bitwise-identical at any value.
@@ -75,8 +87,13 @@ struct SweepCell {
   /// Mean/stddev per metric, in UtilityReport::Flatten() order. Empty when
   /// the cell failed.
   std::vector<MetricStats> metrics;
-  /// Mean total epsilon actually spent (equals epsilon under default splits).
+  /// Mean total epsilon actually spent per fit (equals epsilon under
+  /// default splits). With reuse_fit the cell performs exactly one fit, so
+  /// this is that fit's spend.
   double epsilon_spent = 0.0;
+  /// Number of parameter fits (budget spends) the cell performed:
+  /// `repeats` by default, exactly 1 with reuse_fit.
+  int fits = 0;
   /// Mean wall-clock seconds per release (a timing field).
   double seconds_mean = 0.0;
   /// Non-empty when the release pipeline failed for this cell; metrics are
@@ -106,7 +123,7 @@ util::Result<SweepResult> RunSweep(const std::vector<SweepInput>& inputs,
 util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec);
 
 /// Serializes a sweep result as the BENCH_sweep.json document (schema
-/// "agmdp.sweep.v2"; see DESIGN.md). With `include_timing` false the
+/// "agmdp.sweep.v3"; see DESIGN.md). With `include_timing` false the
 /// timing fields (total_seconds, per-cell seconds_mean) are omitted and the
 /// document is byte-identical across runs with the same spec and inputs.
 std::string SweepResultToJson(const SweepResult& result,

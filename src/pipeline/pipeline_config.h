@@ -16,6 +16,7 @@
 #include "src/agm/agm_dp.h"
 #include "src/dp/privacy_budget.h"
 #include "src/graph/attributed_graph.h"
+#include "src/util/status.h"
 
 namespace agmdp::pipeline {
 
@@ -41,7 +42,29 @@ struct PipelineConfig {
   /// knobs). `sample.model` and `sample.generator` are overridden by the
   /// registry resolution of `model`.
   agm::AgmSampleOptions sample;
+
+  /// Full structural validation, performed before any budget is spent:
+  /// the model must be registered, epsilon finite and positive, the budget
+  /// split affordable (non-negative shares whose total is zero — model
+  /// default — or at most epsilon), and the sampler/estimator knobs in
+  /// range. Every pipeline entry point calls this first, so a bad config
+  /// fails with a typed InvalidArgument instead of partway through a fit.
+  util::Status Validate() const;
+
+  /// Stable FNV-1a fingerprint of the fit-relevant fields (model, epsilon,
+  /// split, ΘF estimator knobs, ladder and acceptance settings). Recorded
+  /// in ReleaseArtifact so a consumer can tell which configuration produced
+  /// a stored release. Sampler thread counts are excluded: they never
+  /// change the output.
+  uint64_t Fingerprint() const;
 };
+
+/// Shared range checks for the sampler acceptance knobs — one definition
+/// for the fit-side PipelineConfig::Validate() and the serving-side
+/// artifact boundary (ValidateReleaseArtifact), so the two cannot drift.
+util::Status ValidateAcceptanceKnobs(int acceptance_iterations,
+                                     double acceptance_tolerance,
+                                     double min_acceptance);
 
 /// One accountant entry: (stage label, epsilon spent), in spend order.
 using BudgetLedger = std::vector<std::pair<std::string, double>>;

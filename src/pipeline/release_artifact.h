@@ -1,0 +1,81 @@
+// The serializable private release: fitted AGM parameters plus the
+// accountant ledger and provenance metadata, as one JSON document.
+//
+// Per the paper's Theorem 2 the fitted parameters *are* the release — once
+// learned under the DP budget they can be stored, shipped, and resampled
+// arbitrarily often at zero additional privacy cost. The artifact is the
+// unit of exchange of the serving layer: `agmdp fit` writes one,
+// `agmdp sample` / pipeline::ReleaseEngine consume it, and the embedded
+// ledger keeps the release auditable after the fitting process is gone.
+//
+// The format is versioned JSON (schema "agmdp.release-artifact",
+// kReleaseArtifactSchemaVersion): doubles are serialized with 17
+// significant digits so a round trip is bit-exact, and the two uint64
+// fields (config fingerprint, triangle target) travel as decimal strings
+// because JSON numbers lose integers above 2^53. Readers reject unknown
+// schema versions, dimension mismatches, and non-finite or negative
+// parameter values (agm::ValidateAgmParams) instead of propagating garbage.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/agm/agm_sampler.h"
+#include "src/pipeline/pipeline_config.h"
+#include "src/util/status.h"
+
+namespace agmdp::pipeline {
+
+/// Bump when the JSON layout changes incompatibly; readers reject any
+/// other version.
+inline constexpr int kReleaseArtifactSchemaVersion = 1;
+
+/// \brief A stored private release: parameters + ledger + provenance.
+struct ReleaseArtifact {
+  int schema_version = kReleaseArtifactSchemaVersion;
+  /// Structural model by registry name; resolved when an engine is built.
+  std::string model;
+  /// PipelineConfig::Fingerprint() of the configuration that produced the
+  /// fit (provenance only — consumers never re-derive settings from it).
+  uint64_t config_fingerprint = 0;
+  /// Budget the fit ran under and what it actually spent; both zero for
+  /// non-private artifacts (the exact-parameter baselines).
+  double epsilon_budget = 0.0;
+  double epsilon_spent = 0.0;
+  /// The accountant ledger of the fit, in spend order.
+  BudgetLedger ledger;
+  /// The fitted parameters — the release itself.
+  agm::AgmParams params;
+  /// Sampler defaults baked at fit time (a consumer may override them per
+  /// request; these are the settings the producer validated).
+  int acceptance_iterations = 3;
+  double acceptance_tolerance = 0.01;
+  double min_acceptance = 1e-3;
+};
+
+/// Packages a fit result for serving/storage under `config`'s settings.
+ReleaseArtifact MakeReleaseArtifact(const FitResult& fit,
+                                    const PipelineConfig& config);
+
+/// Packages bare parameters (no ledger — the non-private baselines and the
+/// legacy SampleRelease path).
+ReleaseArtifact MakeReleaseArtifact(const agm::AgmParams& params,
+                                    const PipelineConfig& config);
+
+/// Structural validation: supported schema version, named model, valid
+/// parameters, sane knobs and ledger entries. Run by the reader and by
+/// ReleaseEngine::Create.
+util::Status ValidateReleaseArtifact(const ReleaseArtifact& artifact);
+
+/// Deterministic JSON serialization (byte-identical for equal artifacts).
+std::string ReleaseArtifactToJson(const ReleaseArtifact& artifact);
+
+/// Parses and validates an artifact document. Rejects unknown schema
+/// versions with a message naming both versions.
+util::Result<ReleaseArtifact> ReleaseArtifactFromJson(const std::string& json);
+
+util::Status WriteReleaseArtifact(const ReleaseArtifact& artifact,
+                                  const std::string& path);
+util::Result<ReleaseArtifact> ReadReleaseArtifact(const std::string& path);
+
+}  // namespace agmdp::pipeline

@@ -1,0 +1,162 @@
+#include "src/pipeline/release_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/pipeline/model_registry.h"
+
+namespace agmdp::pipeline {
+
+namespace {
+
+/// Base seed of the calibration substream family. The calibration draw is
+/// a pure function of (this constant, the artifact fingerprint), so two
+/// engines built from the same artifact calibrate identically — at any
+/// pool size, on any machine.
+constexpr uint64_t kCalibrationSeed = 0xa6dca11b7a7e5eedULL;
+
+/// More workers than sampler shards can never be scheduled at once.
+constexpr int kMaxPoolWorkers = agm::kSamplerProposalShards;
+
+}  // namespace
+
+util::Result<std::unique_ptr<ReleaseEngine>> ReleaseEngine::Create(
+    ReleaseArtifact artifact, const EngineOptions& options) {
+  if (auto st = ValidateReleaseArtifact(artifact); !st.ok()) return st;
+  const StructuralModelSpec* spec = FindStructuralModel(artifact.model);
+  if (spec == nullptr) {
+    return util::Status::InvalidArgument(
+        "release engine: artifact model '" + artifact.model +
+        "' is not registered (registered: " + StructuralModelNameList() +
+        ")");
+  }
+  if (options.default_refine_iterations < 0) {
+    return util::Status::InvalidArgument(
+        "release engine: default_refine_iterations must be >= 0");
+  }
+
+  // Resolve the sampler options once: caller knobs, then the artifact's
+  // baked acceptance settings, then the registry's model binding.
+  agm::AgmSampleOptions base = options.sample;
+  base.acceptance_iterations = artifact.acceptance_iterations;
+  base.acceptance_tolerance = artifact.acceptance_tolerance;
+  base.min_acceptance = artifact.min_acceptance;
+  base.pool = nullptr;
+  base.initial_acceptance = nullptr;
+  base.final_acceptance = nullptr;
+  if (spec->builtin) {
+    base.model = spec->kind;
+    base.generator = nullptr;
+  } else {
+    base.generator = spec->generator;
+  }
+
+  const int pool_workers =
+      std::min(util::ResolveThreadCount(options.threads), kMaxPoolWorkers);
+  std::unique_ptr<ReleaseEngine> engine(new ReleaseEngine(
+      std::move(artifact), options, std::move(base), pool_workers));
+
+  if (options.calibrate && engine->base_options_.acceptance_iterations > 0) {
+    agm::AgmSampleOptions calibration = engine->base_options_;
+    calibration.pool = &engine->pool_;
+    calibration.final_acceptance = &engine->calibrated_acceptance_;
+    util::Rng rng = util::Rng::Substream(
+        kCalibrationSeed, engine->artifact_.config_fingerprint);
+    auto sample =
+        agm::SampleAgmGraph(engine->artifact_.params, calibration, rng);
+    if (!sample.ok()) return sample.status();
+  }
+  return engine;
+}
+
+ReleaseEngine::ReleaseEngine(ReleaseArtifact artifact,
+                             const EngineOptions& options,
+                             agm::AgmSampleOptions base_options,
+                             int pool_workers)
+    : artifact_(std::move(artifact)),
+      options_(options),
+      base_options_(std::move(base_options)),
+      pool_(pool_workers) {}
+
+agm::AgmSampleOptions ReleaseEngine::RequestOptions(
+    int refine_iterations) const {
+  agm::AgmSampleOptions resolved = base_options_;
+  if (calibrated()) {
+    resolved.initial_acceptance = &calibrated_acceptance_;
+    resolved.acceptance_iterations =
+        refine_iterations >= 0 ? refine_iterations
+                               : options_.default_refine_iterations;
+  }
+  return resolved;
+}
+
+util::Result<graph::AttributedGraph> ReleaseEngine::Sample(
+    const SampleRequest& request) const {
+  agm::AgmSampleOptions resolved = RequestOptions(request.refine_iterations);
+  util::Rng rng = util::Rng::Substream(request.seed, request.sequence);
+  if (request.threads <= 1) {
+    // Inline sequential sampling: no shared state, so concurrent requests
+    // proceed in parallel without coordination.
+    resolved.threads = 1;
+    return agm::SampleAgmGraph(artifact_.params, resolved, rng);
+  }
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  resolved.pool = &pool_;
+  return agm::SampleAgmGraph(artifact_.params, resolved, rng);
+}
+
+util::Result<std::vector<graph::AttributedGraph>> ReleaseEngine::SampleMany(
+    int n, const SampleRequest& base) const {
+  if (n < 0) {
+    return util::Status::InvalidArgument(
+        "release engine: SampleMany needs n >= 0");
+  }
+  if (n == 1) {
+    // A single request gains nothing from cross-sample fan-out; hand it
+    // the whole pool for intra-sample parallelism instead. The pool never
+    // affects bits, so the result is identical either way.
+    agm::AgmSampleOptions resolved = RequestOptions(base.refine_iterations);
+    util::Rng rng = util::Rng::Substream(base.seed, base.sequence);
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    resolved.pool = &pool_;
+    auto sample = agm::SampleAgmGraph(artifact_.params, resolved, rng);
+    if (!sample.ok()) return sample.status();
+    std::vector<graph::AttributedGraph> graphs;
+    graphs.push_back(std::move(sample).value());
+    return graphs;
+  }
+  std::vector<graph::AttributedGraph> graphs(static_cast<size_t>(n));
+  std::vector<util::Status> statuses(static_cast<size_t>(n));
+  {
+    const std::lock_guard<std::mutex> lock(pool_mutex_);
+    pool_.Run(n, [&](int i) {
+      // Task i is exactly Sample({seed, sequence + i, refine, threads: 1})
+      // — a pure function of the request, so scheduling cannot change it.
+      agm::AgmSampleOptions resolved =
+          RequestOptions(base.refine_iterations);
+      resolved.threads = 1;
+      util::Rng rng = util::Rng::Substream(
+          base.seed, base.sequence + static_cast<uint64_t>(i));
+      auto sample = agm::SampleAgmGraph(artifact_.params, resolved, rng);
+      if (sample.ok()) {
+        graphs[static_cast<size_t>(i)] = std::move(sample).value();
+      } else {
+        statuses[static_cast<size_t>(i)] = sample.status();
+      }
+    });
+  }
+  for (const util::Status& status : statuses) {
+    if (!status.ok()) return status;
+  }
+  return graphs;
+}
+
+util::Result<graph::AttributedGraph> ReleaseEngine::SampleFromStream(
+    util::Rng& rng) const {
+  agm::AgmSampleOptions resolved = RequestOptions(/*refine_iterations=*/-1);
+  const std::lock_guard<std::mutex> lock(pool_mutex_);
+  resolved.pool = &pool_;
+  return agm::SampleAgmGraph(artifact_.params, resolved, rng);
+}
+
+}  // namespace agmdp::pipeline

@@ -1,7 +1,10 @@
 #include "src/pipeline/release_pipeline.h"
 
 #include <chrono>
+#include <memory>
 #include <utility>
+
+#include "src/pipeline/release_engine.h"
 
 namespace agmdp::pipeline {
 
@@ -11,17 +14,6 @@ using Clock = std::chrono::steady_clock;
 
 double SecondsSince(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-util::Result<const StructuralModelSpec*> ResolveModel(
-    const PipelineConfig& config) {
-  const StructuralModelSpec* spec = FindStructuralModel(config.model);
-  if (spec == nullptr) {
-    return util::Status::InvalidArgument(
-        "pipeline: unknown structural model '" + config.model +
-        "' (registered: " + StructuralModelNameList() + ")");
-  }
-  return spec;
 }
 
 // Maps the pipeline config onto the AGM learner's options. Models that
@@ -42,33 +34,29 @@ agm::AgmDpOptions MakeLearnOptions(const PipelineConfig& config,
   return options;
 }
 
-agm::AgmSampleOptions MakeSampleOptions(const PipelineConfig& config,
-                                        const StructuralModelSpec& spec) {
-  agm::AgmSampleOptions options = config.sample;
-  if (spec.builtin) {
-    options.model = spec.kind;
-    options.generator = nullptr;
-  } else {
-    options.generator = spec.generator;
-  }
-  return options;
+// An uncalibrated single-use engine reproducing the legacy free-function
+// sampling semantics exactly: cold acceptance loop, config sample knobs,
+// pool sized by config.sample.threads.
+util::Result<std::unique_ptr<ReleaseEngine>> MakeOneShotEngine(
+    const agm::AgmParams& params, const PipelineConfig& config) {
+  EngineOptions options;
+  options.threads = config.sample.threads;
+  options.calibrate = false;
+  options.sample = config.sample;
+  return ReleaseEngine::Create(MakeReleaseArtifact(params, config), options);
 }
 
-// The fit half, with the model already resolved (shared by
-// FitPrivateParams and RunPrivateRelease so the registry is consulted and
-// the config validated in exactly one place).
-util::Result<FitResult> FitWithSpec(const graph::AttributedGraph& input,
-                                    const PipelineConfig& config,
-                                    const StructuralModelSpec& spec,
-                                    util::Rng& rng) {
-  if (config.epsilon <= 0.0) {
-    return util::Status::InvalidArgument(
-        "pipeline: epsilon must be positive");
-  }
+// The fit half, with the config already validated (shared by
+// FitPrivateParams and RunPrivateRelease so validation happens in exactly
+// one place, before any budget is spent).
+util::Result<FitResult> FitValidated(const graph::AttributedGraph& input,
+                                     const PipelineConfig& config,
+                                     util::Rng& rng) {
+  const StructuralModelSpec* spec = FindStructuralModel(config.model);
 
   dp::PrivacyAccountant accountant(config.epsilon);
   std::vector<agm::StageSeconds> timings;
-  auto params = agm::LearnAgmParamsDp(input, MakeLearnOptions(config, spec),
+  auto params = agm::LearnAgmParamsDp(input, MakeLearnOptions(config, *spec),
                                       accountant, rng, &timings);
   if (!params.ok()) return params.status();
 
@@ -86,32 +74,42 @@ util::Result<FitResult> FitWithSpec(const graph::AttributedGraph& input,
 util::Result<FitResult> FitPrivateParams(const graph::AttributedGraph& input,
                                          const PipelineConfig& config,
                                          util::Rng& rng) {
-  auto spec = ResolveModel(config);
-  if (!spec.ok()) return spec.status();
-  return FitWithSpec(input, config, *spec.value(), rng);
+  if (auto st = config.Validate(); !st.ok()) return st;
+  return FitValidated(input, config, rng);
+}
+
+util::Result<ReleaseArtifact> FitReleaseArtifact(
+    const graph::AttributedGraph& input, const PipelineConfig& config,
+    util::Rng& rng) {
+  auto fit = FitPrivateParams(input, config, rng);
+  if (!fit.ok()) return fit.status();
+  return MakeReleaseArtifact(fit.value(), config);
 }
 
 util::Result<graph::AttributedGraph> SampleRelease(
     const agm::AgmParams& params, const PipelineConfig& config,
     util::Rng& rng) {
-  auto spec = ResolveModel(config);
-  if (!spec.ok()) return spec.status();
-  return agm::SampleAgmGraph(params, MakeSampleOptions(config, *spec.value()),
-                             rng);
+  // Sampling spends no budget, so fit-side fields (epsilon, split,
+  // estimator knobs) are deliberately not validated here; engine creation
+  // checks everything sampling actually reads (model resolution,
+  // acceptance knobs, parameter sanity).
+  auto engine = MakeOneShotEngine(params, config);
+  if (!engine.ok()) return engine.status();
+  return engine.value()->SampleFromStream(rng);
 }
 
 util::Result<ReleaseResult> RunPrivateRelease(
     const graph::AttributedGraph& input, const PipelineConfig& config,
     util::Rng& rng) {
   const Clock::time_point start = Clock::now();
-  auto spec = ResolveModel(config);
-  if (!spec.ok()) return spec.status();
-  auto fit = FitWithSpec(input, config, *spec.value(), rng);
+  if (auto st = config.Validate(); !st.ok()) return st;
+  auto fit = FitValidated(input, config, rng);
   if (!fit.ok()) return fit.status();
 
   const Clock::time_point sample_start = Clock::now();
-  auto synthetic = agm::SampleAgmGraph(
-      fit.value().params, MakeSampleOptions(config, *spec.value()), rng);
+  auto engine = MakeOneShotEngine(fit.value().params, config);
+  if (!engine.ok()) return engine.status();
+  auto synthetic = engine.value()->SampleFromStream(rng);
   if (!synthetic.ok()) return synthetic.status();
 
   ReleaseResult result{std::move(synthetic).value(),

@@ -14,10 +14,18 @@
 //   * Determinism — for a fixed config and Rng seed the synthetic graph is
 //     bitwise-identical at any `sample.threads` setting (see
 //     agm_sampler.h and DESIGN.md).
+//
+// These free functions are thin wrappers over the handle-based serving
+// layer (release_artifact.h / release_engine.h): FitReleaseArtifact
+// packages a fit for storage, and the sampling halves below construct an
+// uncalibrated ReleaseEngine per call so one-shot and serving paths share
+// one code path. Long-lived consumers should hold a ReleaseEngine instead
+// of looping over these — see DESIGN.md "Serving layer".
 #pragma once
 
 #include "src/pipeline/model_registry.h"
 #include "src/pipeline/pipeline_config.h"
+#include "src/pipeline/release_artifact.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -25,11 +33,18 @@ namespace agmdp::pipeline {
 
 /// Learns the private AGM parameters (the only step that touches the
 /// sensitive input) and returns them with the accountant ledger and stage
-/// timings. Fails on an unknown model name, non-positive epsilon, or a
-/// split exceeding the budget.
+/// timings. Fails on an invalid config (PipelineConfig::Validate) before
+/// any budget is spent.
 util::Result<FitResult> FitPrivateParams(const graph::AttributedGraph& input,
                                          const PipelineConfig& config,
                                          util::Rng& rng);
+
+/// Fit + packaging: the artifact a ReleaseEngine (or `agmdp sample`)
+/// consumes, carrying the parameters, the full ledger, and the config
+/// fingerprint.
+util::Result<ReleaseArtifact> FitReleaseArtifact(
+    const graph::AttributedGraph& input, const PipelineConfig& config,
+    util::Rng& rng);
 
 /// Samples a synthetic graph from already-learned parameters under
 /// `config`'s model and sampler settings. Pure post-processing.

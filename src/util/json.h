@@ -1,15 +1,21 @@
-// Minimal streaming JSON writer for the machine-readable bench and sweep
-// artifacts (BENCH_perf.json, BENCH_sweep.json).
+// Minimal streaming JSON writer and recursive-descent reader for the
+// machine-readable artifacts (BENCH_perf.json, BENCH_sweep.json, and the
+// release-artifact files the serving layer exchanges).
 //
 // The writer emits deterministically formatted output: keys appear in the
 // order they are written and numbers are rendered with a fixed printf
 // format, so two runs that produce the same values produce byte-identical
 // documents — the property the sweep engine's determinism contract (and its
-// tests) rely on.
+// tests) rely on. The reader parses any document the writer emits (plus
+// ordinary hand-written JSON) into a JsonValue tree; ValueExact uses 17
+// significant digits, so doubles written that way round-trip bit-exactly.
 #pragma once
 
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "src/util/status.h"
 
 namespace agmdp::util {
 
@@ -20,6 +26,11 @@ std::string JsonEscape(const std::string& s);
 /// Renders a double with a fixed "%.10g" format ("null" for non-finite
 /// values, which JSON cannot represent).
 std::string JsonNumber(double value);
+
+/// Renders a double with 17 significant digits — enough that parsing the
+/// text recovers the exact bit pattern (round-trip safe; used by the
+/// release-artifact serialization).
+std::string JsonNumberExact(double value);
 
 /// \brief Builds a JSON document through nested containers.
 ///
@@ -42,6 +53,9 @@ class JsonWriter {
   JsonWriter& Key(const std::string& key);
 
   JsonWriter& Value(double v);
+  /// Like Value(double) but with JsonNumberExact formatting (bit-exact
+  /// round trip through the reader).
+  JsonWriter& ValueExact(double v);
   JsonWriter& Value(int64_t v);
   JsonWriter& Value(uint64_t v);
   JsonWriter& Value(int v) { return Value(static_cast<int64_t>(v)); }
@@ -60,6 +74,50 @@ class JsonWriter {
   std::vector<int> counts_;
   bool pending_key_ = false;
   int indent_ = 0;
+};
+
+/// \brief A parsed JSON document node.
+///
+/// Objects keep their members in document order (duplicate keys are
+/// rejected at parse time); Find does a linear scan, which is fine for the
+/// small artifact headers this reader serves.
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  /// Parses a complete JSON document (one top-level value, nothing but
+  /// whitespace after it). Errors carry a byte offset.
+  static Result<JsonValue> Parse(const std::string& text);
+
+  Kind kind() const { return kind_; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+
+  /// Accessors trust the caller checked the kind (they return harmless
+  /// defaults otherwise — fallible lookups go through Find + kind checks).
+  bool bool_value() const { return bool_; }
+  double number_value() const { return number_; }
+  const std::string& string_value() const { return string_; }
+  const std::vector<JsonValue>& array_items() const { return items_; }
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+
+ private:
+  friend class JsonParser;
+
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> items_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
 };
 
 }  // namespace agmdp::util

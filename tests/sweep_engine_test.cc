@@ -25,7 +25,7 @@ const graph::AttributedGraph& Input() {
 }
 
 std::vector<SweepInput> Inputs() {
-  return {SweepInput{"petster", Input()}};
+  return {SweepInput{"petster", Input(), nullptr}};
 }
 
 SweepSpec SmallSpec() {
@@ -123,7 +123,7 @@ TEST(SweepEngineTest, JsonIsByteIdenticalAcrossRunsAndThreadCounts) {
   EXPECT_EQ(a, c);
 
   // Schema markers and balanced structure.
-  EXPECT_NE(a.find("\"schema\": \"agmdp.sweep.v2\""), std::string::npos);
+  EXPECT_NE(a.find("\"schema\": \"agmdp.sweep.v3\""), std::string::npos);
   EXPECT_NE(a.find("\"cells\": ["), std::string::npos);
   EXPECT_NE(a.find("\"metrics\": {"), std::string::npos);
   EXPECT_NE(a.find("\"stddev\":"), std::string::npos);

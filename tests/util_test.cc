@@ -8,6 +8,7 @@
 
 #include "src/util/alias_sampler.h"
 #include "src/util/flags.h"
+#include "src/util/json.h"
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
@@ -262,6 +263,81 @@ TEST(FlagsTest, DoubleListParsing) {
   EXPECT_DOUBLE_EQ(eps[0], 0.1);
   EXPECT_DOUBLE_EQ(eps[2], 0.5);
   EXPECT_EQ(flags.GetDoubleList("other", {1.0, 2.0}).size(), 2u);
+}
+
+// ------------------------------------------------------------ JsonValue --
+// Direct exercises of the reader's hostile-input defenses — the paths the
+// artifact round-trip tests never hit because JsonWriter output is tame.
+
+TEST(JsonValueTest, ParsesScalarsObjectsAndArrays) {
+  auto doc = JsonValue::Parse(
+      "{\"a\": 1.5, \"b\": [true, false, null, -2e3], \"c\": \"hi\"}");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_TRUE(doc.value().is_object());
+  ASSERT_EQ(doc.value().members().size(), 3u);
+  EXPECT_DOUBLE_EQ(doc.value().Find("a")->number_value(), 1.5);
+  const JsonValue* b = doc.value().Find("b");
+  ASSERT_TRUE(b != nullptr && b->is_array());
+  ASSERT_EQ(b->array_items().size(), 4u);
+  EXPECT_TRUE(b->array_items()[0].bool_value());
+  EXPECT_EQ(b->array_items()[2].kind(), JsonValue::Kind::kNull);
+  EXPECT_DOUBLE_EQ(b->array_items()[3].number_value(), -2000.0);
+  EXPECT_EQ(doc.value().Find("c")->string_value(), "hi");
+  EXPECT_EQ(doc.value().Find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, DecodesEscapesIncludingUnicode) {
+  auto doc = JsonValue::Parse(
+      "\"a\\\"b\\\\c\\/d\\n\\t\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  // \u0041 = 'A'; \u00e9 = e-acute (2-byte UTF-8); \u20ac = euro (3-byte).
+  EXPECT_EQ(doc.value().string_value(),
+            "a\"b\\c/d\n\tA\xc3\xa9\xe2\x82\xac");
+
+  EXPECT_FALSE(JsonValue::Parse("\"\\u12\"").ok());      // truncated hex
+  EXPECT_FALSE(JsonValue::Parse("\"\\ud800\"").ok());    // surrogate
+  EXPECT_FALSE(JsonValue::Parse("\"\\q\"").ok());        // unknown escape
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"ctrl\x01char\"").ok());
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\" 1}", "{\"a\": }", "tru", "nul", "01x",
+        "1.5.5", "--3", "{} trailing", "[1 2]", "{\"a\":1,}"}) {
+    EXPECT_FALSE(JsonValue::Parse(bad).ok()) << bad;
+  }
+  // Non-finite numbers are not JSON.
+  EXPECT_FALSE(JsonValue::Parse("1e999").ok());
+}
+
+TEST(JsonValueTest, RejectsDuplicateKeysAndDeepNesting) {
+  EXPECT_FALSE(JsonValue::Parse("{\"k\": 1, \"k\": 2}").ok());
+
+  std::string deep;
+  for (int i = 0; i < 80; ++i) deep += "[";
+  deep += "1";
+  for (int i = 0; i < 80; ++i) deep += "]";
+  auto result = JsonValue::Parse(deep);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("nesting"), std::string::npos);
+
+  // Just inside the bound parses fine.
+  std::string shallow;
+  for (int i = 0; i < 30; ++i) shallow += "[";
+  shallow += "1";
+  for (int i = 0; i < 30; ++i) shallow += "]";
+  EXPECT_TRUE(JsonValue::Parse(shallow).ok());
+}
+
+TEST(JsonValueTest, ExactNumbersRoundTripBitwise) {
+  const double values[] = {0.6931471805599453, 1e-300, 1.7976931348623157e308,
+                           -0.1, 3.0000000000000004};
+  for (double v : values) {
+    auto doc = JsonValue::Parse(JsonNumberExact(v));
+    ASSERT_TRUE(doc.ok());
+    EXPECT_EQ(doc.value().number_value(), v);
+  }
 }
 
 }  // namespace

@@ -8,13 +8,22 @@
 //   generate   --dataset=lastfm --scale=1.0 --seed=7 --out=PREFIX
 //              Generate a synthetic stand-in dataset (writes PREFIX.edges /
 //              PREFIX.attrs).
-//   fit        --in=PREFIX --epsilon=0.69 [--model=NAME] --params-out=FILE
-//              Learn the differentially private AGM parameters and store
-//              them. This is the only step that touches the sensitive data.
-//   sample     --params=FILE --out=PREFIX [--seed=1] [--model=NAME]
-//              [--threads=T]
-//              Sample a synthetic graph from stored parameters (pure
-//              post-processing; repeatable at no extra privacy cost).
+//   fit        --in=PREFIX --epsilon=0.69 [--model=NAME]
+//              [--artifact-out=FILE] [--params-out=FILE]
+//              Learn the differentially private AGM parameters and write
+//              them as a release artifact (JSON: parameters + budget
+//              ledger + config fingerprint; see release_artifact.h). This
+//              is the only step that touches the sensitive data.
+//   sample     --artifact=FILE --out=PREFIX [--samples=N] [--seed=1]
+//              [--serve-threads=T] [--refine_iters=R] [--cold]
+//              Serve synthetic graphs from a stored artifact through a
+//              ReleaseEngine (pure post-processing; repeatable at no extra
+//              privacy cost). N > 1 writes PREFIX_0 .. PREFIX_<N-1> via
+//              the engine's batched SampleMany, parallelized across
+//              samples by --serve-threads; with N = 1, --threads still
+//              sets the intra-sample sampler workers. --cold disables the
+//              calibrated warm start (full per-sample acceptance loop).
+//              --params=FILE consumes a legacy raw-params file instead.
 //   synthesize --in=PREFIX --epsilon=0.69 --out=PREFIX2 [--model=NAME]
 //              [--threads=T]
 //              fit + sample in one step, with stage timings.
@@ -28,7 +37,8 @@
 //   sweep      --datasets=lastfm,petster --models=fcl,tricycle
 //              --eps=0.2,0.69,1.1 [--repeats=3] [--scale=0.1] [--seed=1]
 //              [--threads=1] [--sampler-threads=1] [--accept_iters=2]
-//              [--analytics-threads=1] [--out=BENCH_sweep.json] [--no-timing]
+//              [--analytics-threads=1] [--reuse-fit]
+//              [--out=BENCH_sweep.json] [--no-timing]
 //              Run the multi-scenario sweep engine over the dataset × model
 //              × epsilon grid (repeats fully accounted releases per cell,
 //              deterministic per-cell RNG substreams, cells parallelized
@@ -38,13 +48,17 @@
 //              --no-timing omits them entirely).
 //   export     --in=PREFIX --out=FILE.graphml
 //              GraphML export for external tools.
+//   help       List every subcommand with a one-line example.
 //
 // --model accepts any registry name (see `agmdp models`); --threads sets
 // the sampler worker count (0 = hardware concurrency) — output is
-// identical for a given seed at any thread count.
+// identical for a given seed at any thread count. An unknown subcommand
+// exits non-zero with the closest-matching suggestion.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "src/agm/params_io.h"
 #include "src/datasets/datasets.h"
@@ -53,10 +67,12 @@
 #include "src/graph/csr.h"
 #include "src/graph/graph_io.h"
 #include "src/graph/paths.h"
+#include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/stats/joint_degree.h"
 #include "src/stats/summary.h"
 #include "src/util/flags.h"
+#include "src/util/parallel.h"
 #include "src/util/rng.h"
 
 namespace {
@@ -68,13 +84,95 @@ int Fail(const util::Status& status) {
   return 1;
 }
 
+/// (name, one-line example, summary) for help and suggestions.
+struct SubcommandDoc {
+  const char* name;
+  const char* example;
+  const char* summary;
+};
+
+const std::vector<SubcommandDoc>& Subcommands() {
+  static const std::vector<SubcommandDoc> docs = {
+      {"generate", "agmdp generate --dataset=lastfm --scale=0.1 --out=data",
+       "generate a synthetic stand-in dataset"},
+      {"fit",
+       "agmdp fit --in=data --epsilon=0.69 --model=fcl "
+       "--artifact-out=release.artifact.json",
+       "learn DP parameters, write a release artifact (the only step that "
+       "reads the data)"},
+      {"sample",
+       "agmdp sample --artifact=release.artifact.json --samples=4 "
+       "--out=synthetic",
+       "serve synthetic graphs from an artifact (free post-processing)"},
+      {"synthesize", "agmdp synthesize --in=data --epsilon=0.69 --out=syn",
+       "fit + sample in one step, with stage timings"},
+      {"models", "agmdp models", "list the registered structural models"},
+      {"stats", "agmdp stats --in=data",
+       "structural summary and assortativity/path statistics"},
+      {"evaluate", "agmdp evaluate --in=data --synthetic=syn",
+       "the full utility metric suite between two graphs"},
+      {"sweep",
+       "agmdp sweep --datasets=lastfm --models=fcl,tricycle --eps=0.3,0.69 "
+       "--repeats=3 [--reuse-fit]",
+       "dataset x model x epsilon utility grid -> BENCH_sweep.json"},
+      {"export", "agmdp export --in=data --out=graph.graphml",
+       "GraphML export for external tools"},
+      {"help", "agmdp help", "this overview"},
+  };
+  return docs;
+}
+
+int CmdHelp() {
+  std::printf("usage: agmdp <subcommand> [--flags]\n\n");
+  for (const SubcommandDoc& doc : Subcommands()) {
+    std::printf("  %-10s %s\n  %-10s   %s\n", doc.name, doc.summary, "",
+                doc.example);
+  }
+  std::printf(
+      "\nThe full flag reference lives in the header of "
+      "tools/agmdp_cli.cc.\n");
+  return 0;
+}
+
+size_t EditDistance(const std::string& a, const std::string& b) {
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t diagonal = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      const size_t substitution =
+          diagonal + (a[i - 1] == b[j - 1] ? 0 : 1);
+      diagonal = row[j];
+      row[j] = std::min({row[j] + 1, row[j - 1] + 1, substitution});
+    }
+  }
+  return row[b.size()];
+}
+
+int UnknownCommand(const std::string& command) {
+  const SubcommandDoc* closest = nullptr;
+  size_t best = ~size_t{0};
+  for (const SubcommandDoc& doc : Subcommands()) {
+    const size_t distance = EditDistance(command, doc.name);
+    if (distance < best) {
+      best = distance;
+      closest = &doc;
+    }
+  }
+  std::fprintf(stderr, "error: unknown subcommand '%s'", command.c_str());
+  if (closest != nullptr && best <= 3) {
+    std::fprintf(stderr, " — did you mean '%s'?", closest->name);
+  }
+  std::fprintf(stderr, "\nrun 'agmdp help' for the subcommand list\n");
+  return 2;
+}
+
 int Usage() {
-  std::fprintf(stderr,
-               "usage: agmdp <generate|fit|sample|synthesize|models|stats|"
-               "evaluate|sweep|export> [--flags]\n"
-               "  sweep: run the dataset x model x epsilon utility grid and\n"
-               "  write per-cell mean/stddev metrics to BENCH_sweep.json\n"
-               "see the header of tools/agmdp_cli.cc for details\n");
+  std::fprintf(stderr, "usage: agmdp <subcommand> [--flags]\n");
+  for (const SubcommandDoc& doc : Subcommands()) {
+    std::fprintf(stderr, "  %s\n", doc.example);
+  }
   return 2;
 }
 
@@ -138,34 +236,112 @@ int CmdFit(const util::Flags& flags) {
   const pipeline::PipelineConfig config = ConfigFromFlags(flags);
   util::Rng rng(flags.GetInt("seed", 1));
 
-  auto fit = pipeline::FitPrivateParams(input.value(), config, rng);
-  if (!fit.ok()) return Fail(fit.status());
-  const std::string out = flags.GetString("params-out", "agm.params");
-  if (auto st = agm::WriteAgmParams(fit.value().params, out); !st.ok()) {
-    return Fail(st);
+  auto artifact = pipeline::FitReleaseArtifact(input.value(), config, rng);
+  if (!artifact.ok()) return Fail(artifact.status());
+  // A purely legacy invocation (--params-out given, no --artifact-out)
+  // writes only the raw params — no surprise release.artifact.json
+  // clobbered in the working directory. Everyone else gets the artifact,
+  // at --artifact-out or the default that `agmdp sample` reads flaglessly.
+  const bool legacy_only =
+      flags.Has("params-out") && !flags.Has("artifact-out");
+  if (!legacy_only) {
+    const std::string out =
+        flags.GetString("artifact-out", "release.artifact.json");
+    if (auto st = pipeline::WriteReleaseArtifact(artifact.value(), out);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("fitted eps=%.4f release artifact (model=%s, "
+                "fingerprint=%llu) -> %s\n",
+                config.epsilon, config.model.c_str(),
+                static_cast<unsigned long long>(
+                    artifact.value().config_fingerprint),
+                out.c_str());
   }
-  std::printf("learned eps=%.4f params (model=%s) -> %s\n", config.epsilon,
-              config.model.c_str(), out.c_str());
-  PrintLedger(fit.value().ledger, fit.value().epsilon_budget);
+  if (flags.Has("params-out")) {
+    // Legacy raw-params sidecar for tools that predate artifacts.
+    const std::string params_out = flags.GetString("params-out", "");
+    if (auto st =
+            agm::WriteAgmParams(artifact.value().params, params_out);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("fitted eps=%.4f params (model=%s) -> %s\n", config.epsilon,
+                config.model.c_str(), params_out.c_str());
+  }
+  PrintLedger(artifact.value().ledger, artifact.value().epsilon_budget);
   return 0;
 }
 
 int CmdSample(const util::Flags& flags) {
-  auto params = agm::ReadAgmParams(flags.GetString("params", "agm.params"));
-  if (!params.ok()) return Fail(params.status());
   const pipeline::PipelineConfig config = ConfigFromFlags(flags);
-  util::Rng rng(flags.GetInt("seed", 1));
-  auto g = pipeline::SampleRelease(params.value(), config, rng);
-  if (!g.ok()) return Fail(g.status());
-  const std::string out = flags.GetString("out", "synthetic");
-  if (auto st = graph::WriteAttributedGraph(g.value(), out); !st.ok()) {
-    return Fail(st);
+  const int samples = static_cast<int>(flags.GetInt("samples", 1));
+  if (samples < 1) {
+    return Fail(util::Status::InvalidArgument("--samples must be >= 1"));
   }
-  std::printf("%s\n",
-              stats::FormatSummary(
-                  out, stats::Summarize(graph::CsrGraph::FromGraph(
-                           g.value().structure())))
-                  .c_str());
+
+  pipeline::ReleaseArtifact artifact;
+  if (flags.Has("params")) {
+    // Legacy path: raw params + the model named on the command line.
+    auto params = agm::ReadAgmParams(flags.GetString("params", "agm.params"));
+    if (!params.ok()) return Fail(params.status());
+    artifact = pipeline::MakeReleaseArtifact(params.value(), config);
+  } else {
+    // Default matches fit's --artifact-out, so the flagless
+    // `agmdp fit` -> `agmdp sample` round trip works out of the box.
+    auto loaded = pipeline::ReadReleaseArtifact(
+        flags.GetString("artifact", "release.artifact.json"));
+    if (!loaded.ok()) return Fail(loaded.status());
+    artifact = std::move(loaded).value();
+    if (flags.Has("model")) artifact.model = config.model;
+  }
+  if (flags.Has("accept_iters")) {
+    artifact.acceptance_iterations = config.sample.acceptance_iterations;
+  }
+
+  pipeline::EngineOptions options;
+  options.threads =
+      static_cast<int>(flags.GetInt("serve-threads", config.sample.threads));
+  options.calibrate = !flags.GetBool("cold", false);
+  options.default_refine_iterations = static_cast<int>(
+      flags.GetInt("refine_iters", flags.GetInt("refine-iters", 0)));
+  options.sample = config.sample;
+  auto engine = pipeline::ReleaseEngine::Create(std::move(artifact), options);
+  if (!engine.ok()) return Fail(engine.status());
+
+  pipeline::SampleRequest base;
+  base.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  util::Result<std::vector<graph::AttributedGraph>> graphs =
+      std::vector<graph::AttributedGraph>{};
+  if (samples == 1) {
+    // A single request keeps --threads as *intra-sample* sampler workers
+    // (the pre-serving behavior, 0 = hardware concurrency); batches
+    // parallelize across samples instead. The bits are identical either
+    // way.
+    pipeline::SampleRequest request = base;
+    request.threads = util::ResolveThreadCount(config.sample.threads);
+    auto g = engine.value()->Sample(request);
+    if (!g.ok()) return Fail(g.status());
+    graphs.value().push_back(std::move(g).value());
+  } else {
+    graphs = engine.value()->SampleMany(samples, base);
+    if (!graphs.ok()) return Fail(graphs.status());
+  }
+
+  const std::string out = flags.GetString("out", "synthetic");
+  for (int i = 0; i < samples; ++i) {
+    const std::string prefix =
+        samples == 1 ? out : out + "_" + std::to_string(i);
+    const graph::AttributedGraph& g = graphs.value()[static_cast<size_t>(i)];
+    if (auto st = graph::WriteAttributedGraph(g, prefix); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("%s\n",
+                stats::FormatSummary(
+                    prefix,
+                    stats::Summarize(graph::CsrGraph::FromGraph(g.structure())))
+                    .c_str());
+  }
   return 0;
 }
 
@@ -275,6 +451,9 @@ int CmdSweep(const util::Flags& flags) {
       static_cast<int>(flags.GetInt("accept_iters", 2));
   spec.analytics_threads =
       static_cast<int>(flags.GetInt("analytics-threads", 1));
+  // Both spellings accepted (the table harness flags use underscores).
+  spec.reuse_fit =
+      flags.GetBool("reuse-fit", flags.GetBool("reuse_fit", false));
 
   auto result = eval::RunSweepOnDatasets(spec);
   if (!result.ok()) return Fail(result.status());
@@ -337,6 +516,9 @@ int main(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   util::Flags flags = util::Flags::Parse(argc - 1, argv + 1);
+  if (command == "help" || command == "--help" || command == "-h") {
+    return CmdHelp();
+  }
   if (command == "generate") return CmdGenerate(flags);
   if (command == "fit") return CmdFit(flags);
   if (command == "sample") return CmdSample(flags);
@@ -346,5 +528,5 @@ int main(int argc, char** argv) {
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "sweep") return CmdSweep(flags);
   if (command == "export") return CmdExport(flags);
-  return Usage();
+  return UnknownCommand(command);
 }
