@@ -53,6 +53,7 @@
 #include "src/util/flat_edge_set.h"
 #include "src/util/json.h"
 #include "src/util/rng.h"
+#include "src/util/simd.h"
 
 namespace {
 
@@ -99,6 +100,9 @@ int main(int argc, char** argv) {
   json.Key("m").Value(input.num_edges());
   json.Key("hardware_concurrency")
       .Value(static_cast<uint64_t>(std::thread::hardware_concurrency()));
+  json.Key("simd_isa").Value(util::SimdIsaName(util::ActiveSimdIsa()));
+  std::printf("simd dispatch                 %10s\n",
+              util::SimdIsaName(util::ActiveSimdIsa()));
 
   // ------------------------------------------------------------ components
   json.Key("components_seconds").BeginObject();
@@ -226,6 +230,76 @@ int main(int argc, char** argv) {
                 deterministic ? "yes" : "NO");
     AGMDP_CHECK_MSG(deterministic,
                     "CSR analytics differ from the adjacency-list path");
+
+    // ------------------------------------------- fused evaluation kernel
+    // The production EvaluateRelease (fused two-sweep kernel) vs the
+    // pre-fusion one-pass-per-metric CSR path, on the SAME prebuilt
+    // snapshot and reference profile, so fused_eval_speedup isolates the
+    // kernel fusion itself. Both dispatch arms and 1/2/4 threads must all
+    // flatten to the multipass report bit for bit.
+    {
+      json.Key("fused_eval_seconds").BeginObject();
+      auto fused_entry = [&](const std::string& name, double seconds) {
+        json.Key(name).Value(seconds);
+        std::printf("%-28s %10.3f ms\n", ("fused/" + name).c_str(),
+                    1e3 * seconds);
+      };
+
+      eval::UtilityReport report_multipass;
+      const double multipass_1t = TimeBest(trials, [&] {
+        report_multipass = eval::EvaluateReleaseMultipassCsr(
+            reference, snapshot, /*analytics_threads=*/1);
+      });
+      fused_entry("multipass_1t", multipass_1t);
+      const auto flat_multipass = report_multipass.Flatten();
+
+      bool fused_deterministic = true;
+      double fused_1t = 0.0, fused_4t = 0.0;
+      for (int threads : {1, 2, 4}) {
+        eval::UtilityReport report_fused;
+        const double seconds = TimeBest(trials, [&] {
+          report_fused = eval::EvaluateRelease(reference, snapshot, threads);
+        });
+        fused_deterministic = fused_deterministic &&
+                              report_fused.Flatten() == flat_multipass;
+        if (threads == 1) fused_1t = seconds;
+        if (threads == 4) fused_4t = seconds;
+        fused_entry("fused_" + std::to_string(threads) + "t", seconds);
+      }
+
+      // Each arm pinned explicitly (the loop above ran auto dispatch); an
+      // unavailable AVX2 arm is skipped, not silently re-run as scalar.
+      std::vector<util::SimdIsa> arms = {util::SimdIsa::kScalar};
+      if (util::ResolveSimdIsa(util::SimdIsa::kAvx2) ==
+          util::SimdIsa::kAvx2) {
+        arms.push_back(util::SimdIsa::kAvx2);
+      }
+      for (util::SimdIsa arm : arms) {
+        util::SetSimdIsaOverride(arm);
+        eval::UtilityReport report_arm;
+        const double seconds = TimeBest(trials, [&] {
+          report_arm = eval::EvaluateRelease(reference, snapshot,
+                                             /*analytics_threads=*/1);
+        });
+        util::SetSimdIsaOverride(util::SimdIsa::kAuto);
+        fused_deterministic = fused_deterministic &&
+                              report_arm.Flatten() == flat_multipass;
+        fused_entry(std::string("fused_") + util::SimdIsaName(arm) + "_1t",
+                    seconds);
+      }
+      json.EndObject();
+
+      const double fused_speedup =
+          fused_1t > 0.0 ? multipass_1t / fused_1t : 0.0;
+      json.Key("fused_eval_speedup").Value(fused_speedup);
+      json.Key("fused_eval_parallel_speedup_4t")
+          .Value(fused_4t > 0.0 ? fused_1t / fused_4t : 0.0);
+      json.Key("fused_deterministic").Value(fused_deterministic);
+      std::printf("fused eval speedup            %10.2fx (deterministic: %s)\n",
+                  fused_speedup, fused_deterministic ? "yes" : "NO");
+      AGMDP_CHECK_MSG(fused_deterministic,
+                      "fused evaluation differs from the multipass CSR path");
+    }
   }
 
   // ---------------------------------------------- sampler hot-path micro

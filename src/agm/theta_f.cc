@@ -62,6 +62,16 @@ std::vector<double> ComputeThetaF(const graph::AttributedCsrGraph& g,
                                static_cast<double>(g.num_edges() + 1));
 }
 
+std::vector<double> ThetaFFromConnectionCounts(
+    const std::vector<uint64_t>& counts, uint64_t num_edges) {
+  std::vector<double> as_doubles(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    as_doubles[i] = static_cast<double>(counts[i]);
+  }
+  return dp::ClampAndNormalize(std::move(as_doubles), 0.0,
+                               static_cast<double>(num_edges + 1));
+}
+
 std::vector<double> LearnCorrelationsDp(const graph::AttributedGraph& g,
                                         double epsilon, uint32_t k,
                                         util::Rng& rng) {

@@ -34,6 +34,13 @@ std::vector<double> ComputeThetaF(const graph::AttributedGraph& g);
 std::vector<double> ComputeThetaF(const graph::AttributedCsrGraph& g,
                                   int threads = 1);
 
+/// Exact ΘF from already-tallied integer connection counts (the fused
+/// evaluation path, graph/fused_eval.h): the cast integers match the
+/// Graph path's +1.0-per-edge accumulation exactly, so the result is
+/// bitwise-identical to ComputeThetaF on the same graph.
+std::vector<double> ThetaFFromConnectionCounts(
+    const std::vector<uint64_t>& counts, uint64_t num_edges);
+
 /// Algorithm 4 (LearnCorrelationsDP): truncate to a k-bounded graph
 /// (Definition 2), compute Q_F, add Laplace(2k / epsilon) (Proposition 1:
 /// GS = 2k), clamp to [0, n], normalize. Satisfies epsilon-DP (Theorem 7).

@@ -7,6 +7,7 @@
 #include "src/graph/clustering.h"
 #include "src/graph/csr.h"
 #include "src/graph/degree.h"
+#include "src/graph/fused_eval.h"
 #include "src/graph/paths.h"
 #include "src/graph/triangle_count.h"
 #include "src/stats/assortativity.h"
@@ -36,6 +37,26 @@ double MeanOf(const std::vector<double>& values) {
   double sum = 0.0;
   for (double v : values) sum += v;
   return sum / static_cast<double>(values.size());
+}
+
+// The ascending expansion of a degree histogram IS the sorted degree
+// sequence, recovered without the O(n log n) sort.
+std::vector<uint32_t> SortedDegreesFromHistogram(
+    const std::vector<uint64_t>& hist) {
+  std::vector<uint32_t> sorted;
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  sorted.reserve(total);
+  for (size_t d = 0; d < hist.size(); ++d) {
+    sorted.insert(sorted.end(), hist[d], static_cast<uint32_t>(d));
+  }
+  return sorted;
+}
+
+std::vector<double> SortedCopy(const std::vector<double>& values) {
+  std::vector<double> sorted = values;
+  std::sort(sorted.begin(), sorted.end());
+  return sorted;
 }
 
 }  // namespace
@@ -79,23 +100,28 @@ ReferenceProfile ProfileReference(const graph::AttributedGraph& original,
 ReferenceProfile ProfileReference(const graph::AttributedCsrGraph& original,
                                   int analytics_threads) {
   ReferenceProfile ref;
-  const graph::CsrGraph& g = original.structure;
-  ref.theta_f = agm::ComputeThetaF(original, analytics_threads);
-  ref.sorted_degrees = graph::SortedDegreeSequence(g);
-  ref.degree_distribution = stats::DegreeDistribution(g);
-  // One run of the per-node triangle kernel yields the whole clustering
-  // family plus the exact triangle total (sum / 3).
-  graph::ClusteringStats clustering =
-      graph::ComputeClusteringStats(g, analytics_threads);
-  ref.local_clustering = std::move(clustering.local_coefficients);
-  ref.avg_clustering = clustering.avg_local_clustering;
-  ref.global_clustering = clustering.global_clustering;
-  ref.triangles = static_cast<double>(clustering.triangles);
-  ref.edges = static_cast<double>(g.num_edges());
-  ref.degree_assortativity = stats::DegreeAssortativity(g, analytics_threads);
-  ref.attribute_assortativity =
-      stats::AttributeAssortativity(original, analytics_threads);
-  ref.homophily = stats::PerAttributeHomophily(original, analytics_threads);
+  graph::FusedOptions opts;
+  opts.threads = analytics_threads;
+  graph::FusedStats fused = graph::FusedEvaluate(original, opts);
+  ref.theta_f = agm::ThetaFFromConnectionCounts(fused.connection_counts,
+                                                fused.num_edges);
+  ref.sorted_degrees = SortedDegreesFromHistogram(fused.degree_histogram);
+  ref.degree_distribution = stats::DegreeDistributionFromHistogram(
+      fused.degree_histogram, fused.num_nodes);
+  ref.local_clustering = std::move(fused.clustering.local_coefficients);
+  ref.sorted_local_clustering = SortedCopy(ref.local_clustering);
+  ref.avg_clustering = fused.clustering.avg_local_clustering;
+  ref.global_clustering = fused.clustering.global_clustering;
+  ref.triangles = static_cast<double>(fused.clustering.triangles);
+  ref.edges = static_cast<double>(fused.num_edges);
+  ref.degree_assortativity = stats::DegreeAssortativityFromSums(
+      fused.assort_sum_xy, fused.assort_sum_x, fused.assort_sum_x2,
+      fused.num_edges);
+  ref.attribute_assortativity = stats::AttributeAssortativityFromMixingCounts(
+      fused.mixing_counts, fused.num_configs, fused.num_edges);
+  ref.homophily = stats::PerAttributeHomophilyFromCounts(
+      fused.homophily_counts, fused.num_edges);
+  ref.degree_histogram = std::move(fused.degree_histogram);
   return ref;
 }
 
@@ -114,6 +140,8 @@ ReferenceProfile ProfileReferenceLegacy(
   ref.degree_assortativity = stats::DegreeAssortativity(g);
   ref.attribute_assortativity = stats::AttributeAssortativity(original);
   ref.homophily = stats::PerAttributeHomophily(original);
+  ref.degree_histogram = graph::DegreeHistogram(g);
+  ref.sorted_local_clustering = SortedCopy(ref.local_clustering);
   return ref;
 }
 
@@ -128,6 +156,67 @@ UtilityReport EvaluateRelease(const ReferenceProfile& original,
 UtilityReport EvaluateRelease(const ReferenceProfile& original,
                               const graph::AttributedCsrGraph& released,
                               int analytics_threads) {
+  UtilityReport report;
+  graph::FusedOptions opts;
+  opts.threads = analytics_threads;
+  const graph::FusedStats fused = graph::FusedEvaluate(released, opts);
+
+  const ThetaFError theta = CompareThetaF(
+      agm::ThetaFFromConnectionCounts(fused.connection_counts,
+                                      fused.num_edges),
+      original.theta_f);
+  report.errors.theta_f_mae = theta.mae;
+  report.errors.theta_f_hellinger = theta.hellinger;
+
+  report.errors.degree_ks = stats::KsStatisticFromHistograms(
+      fused.degree_histogram, original.degree_histogram);
+  const std::vector<double> dist1 = stats::DegreeDistributionFromHistogram(
+      fused.degree_histogram, fused.num_nodes);
+  report.errors.degree_hellinger =
+      stats::HellingerDistance(dist1, original.degree_distribution);
+  report.degree_kl = stats::KlDivergence(original.degree_distribution, dist1);
+  // sup |F1-F2| over degrees == sup |CCDF1-CCDF2|: reuse the KS statistic.
+  report.degree_ccdf_distance = report.errors.degree_ks;
+
+  // The reference side is presorted in the profile; only the released
+  // side's coefficients need one sort.
+  report.clustering_ccdf_distance = stats::KsDistanceSorted(
+      original.sorted_local_clustering,
+      SortedCopy(fused.clustering.local_coefficients));
+  report.errors.avg_clustering_re = stats::RelativeError(
+      fused.clustering.avg_local_clustering, original.avg_clustering);
+  report.errors.global_clustering_re = stats::RelativeError(
+      fused.clustering.global_clustering, original.global_clustering);
+
+  report.errors.triangles_re = stats::RelativeError(
+      static_cast<double>(fused.clustering.triangles), original.triangles);
+  report.errors.edges_re = stats::RelativeError(
+      static_cast<double>(fused.num_edges), original.edges);
+
+  report.degree_assortativity_delta =
+      stats::DegreeAssortativityFromSums(fused.assort_sum_xy,
+                                         fused.assort_sum_x,
+                                         fused.assort_sum_x2,
+                                         fused.num_edges) -
+      original.degree_assortativity;
+  report.attribute_assortativity_delta =
+      stats::AttributeAssortativityFromMixingCounts(
+          fused.mixing_counts, fused.num_configs, fused.num_edges) -
+      original.attribute_assortativity;
+
+  const std::vector<double> h1 = stats::PerAttributeHomophilyFromCounts(
+      fused.homophily_counts, fused.num_edges);
+  const size_t w = std::min(original.homophily.size(), h1.size());
+  report.homophily_delta.resize(w);
+  for (size_t a = 0; a < w; ++a) {
+    report.homophily_delta[a] = h1[a] - original.homophily[a];
+  }
+  return report;
+}
+
+UtilityReport EvaluateReleaseMultipassCsr(
+    const ReferenceProfile& original, const graph::AttributedCsrGraph& released,
+    int analytics_threads) {
   UtilityReport report;
   const graph::CsrGraph& g1 = released.structure;
 
@@ -262,11 +351,20 @@ StructuralProfile ProfileGraph(const graph::AttributedCsrGraph& g,
     profile.effective_diameter = paths.effective_diameter;
     profile.diameter_lower_bound = paths.diameter_lower_bound;
   }
-  profile.degree_assortativity =
-      stats::DegreeAssortativity(g.structure, analytics_threads);
+  // One fused edge sweep covers all three families; the triangle sweep is
+  // skipped since no clustering statistic is reported here.
+  graph::FusedOptions opts;
+  opts.threads = analytics_threads;
+  opts.triangles = false;
+  const graph::FusedStats fused = graph::FusedEvaluate(g, opts);
+  profile.degree_assortativity = stats::DegreeAssortativityFromSums(
+      fused.assort_sum_xy, fused.assort_sum_x, fused.assort_sum_x2,
+      fused.num_edges);
   profile.attribute_assortativity =
-      stats::AttributeAssortativity(g, analytics_threads);
-  profile.homophily = stats::PerAttributeHomophily(g, analytics_threads);
+      stats::AttributeAssortativityFromMixingCounts(
+          fused.mixing_counts, fused.num_configs, fused.num_edges);
+  profile.homophily = stats::PerAttributeHomophilyFromCounts(
+      fused.homophily_counts, fused.num_edges);
   return profile;
 }
 
@@ -277,7 +375,9 @@ std::vector<std::pair<double, double>> DegreeCcdfSeries(const graph::Graph& g,
 
 std::vector<std::pair<double, double>> DegreeCcdfSeries(
     const graph::CsrGraph& g, size_t max_points) {
-  return stats::DownsampleCcdf(stats::Ccdf(DegreesAsDoubles(g)), max_points);
+  // Histogram-based construction: same series, no value expansion or sort.
+  return stats::DownsampleCcdf(
+      stats::CcdfFromHistogram(graph::DegreeHistogram(g)), max_points);
 }
 
 std::vector<std::pair<double, double>> ClusteringCcdfSeries(
@@ -288,8 +388,11 @@ std::vector<std::pair<double, double>> ClusteringCcdfSeries(
 
 std::vector<std::pair<double, double>> ClusteringCcdfSeries(
     const graph::CsrGraph& g, size_t max_points, int analytics_threads) {
+  graph::FusedOptions opts;
+  opts.threads = analytics_threads;
   return stats::DownsampleCcdf(
-      stats::Ccdf(graph::LocalClusteringCoefficients(g, analytics_threads)),
+      stats::Ccdf(std::move(
+          graph::FusedEvaluate(g, opts).clustering.local_coefficients)),
       max_points);
 }
 

@@ -19,13 +19,16 @@
 // Everything is a pure function of the two graphs; all heavy lifting is
 // delegated to src/stats and src/graph primitives.
 //
-// The production path runs on immutable CsrGraph snapshots: the
-// AttributedGraph entry points build one AttributedCsrGraph per graph and
-// reuse it across every metric, with the kernels sharded over
-// `analytics_threads` workers (<= 0 selects hardware concurrency; results
-// are bitwise-identical at any thread count). The *Legacy variants keep
-// the original adjacency-list path alive as the cross-check reference for
-// tests and the perf bench — both paths agree exactly, metric for metric.
+// The production path runs on immutable CsrGraph snapshots through the
+// fused evaluation kernel (graph/fused_eval.h): every per-node partial is
+// collected in two sweeps over the neighbor arrays (SIMD-dispatched,
+// sharded over `analytics_threads` workers; <= 0 selects hardware
+// concurrency) and the metric families derive from those partials through
+// the same formula tails the standalone kernels use — so results are
+// bitwise-identical at any thread count and on either dispatch arm. The
+// EvaluateReleaseMultipassCsr and *Legacy variants keep the per-metric CSR
+// and adjacency-list paths alive as cross-check oracles for tests and the
+// perf bench — all three agree exactly, metric for metric.
 #pragma once
 
 #include <cstddef>
@@ -88,6 +91,17 @@ struct ReferenceProfile {
   double attribute_assortativity = 0.0;
   /// Per attribute bit: same-value edge fraction.
   std::vector<double> homophily;
+
+  // Hoisted evaluation scratch: both fields are pure functions of the
+  // vectors above, precomputed once here so EvaluateRelease neither
+  // re-sorts the reference side per repeat nor expands a degree sequence
+  // to take a KS statistic. Every profiler fills them.
+
+  /// hist[d] = number of original nodes of degree d (MaxDegree + 1 bins);
+  /// the degree KS statistic runs directly on histograms.
+  std::vector<uint64_t> degree_histogram;
+  /// local_clustering sorted ascending, ready for KsDistanceSorted.
+  std::vector<double> sorted_local_clustering;
 };
 
 /// Profiles the original once for repeated evaluation. The AttributedGraph
@@ -116,6 +130,14 @@ UtilityReport EvaluateRelease(const ReferenceProfile& original,
 /// kernels.
 UtilityReport EvaluateReleaseLegacy(const ReferenceProfile& original,
                                     const graph::AttributedGraph& released);
+
+/// The pre-fusion CSR implementation — one kernel pass per metric family
+/// over the snapshot (tests / perf bench only). Bitwise-identical to
+/// EvaluateRelease; bench_perf times the fused path against it for the
+/// fused_eval_speedup gate.
+UtilityReport EvaluateReleaseMultipassCsr(
+    const ReferenceProfile& original,
+    const graph::AttributedCsrGraph& released, int analytics_threads = 1);
 
 /// One-shot convenience: ProfileReference(original) + the overload above.
 /// The released graph may have a different attribute dimension than the

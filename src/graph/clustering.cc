@@ -1,5 +1,7 @@
 #include "src/graph/clustering.h"
 
+#include <utility>
+
 #include "src/graph/triangle_count.h"
 
 namespace agmdp::graph {
@@ -88,8 +90,13 @@ std::vector<double> DegreeWiseClustering(const CsrGraph& g, int threads) {
 }
 
 ClusteringStats ComputeClusteringStats(const CsrGraph& g, int threads) {
+  return ClusteringStatsFromTriangles(g, PerNodeTriangles(g, threads));
+}
+
+ClusteringStats ClusteringStatsFromTriangles(
+    const CsrGraph& g, std::vector<uint64_t> per_node_triangles) {
   ClusteringStats stats;
-  stats.per_node_triangles = PerNodeTriangles(g, threads);
+  stats.per_node_triangles = std::move(per_node_triangles);
   stats.local_coefficients =
       CoefficientsFromTriangles(g, stats.per_node_triangles);
   uint64_t corner_sum = 0;
@@ -99,6 +106,11 @@ ClusteringStats ComputeClusteringStats(const CsrGraph& g, int threads) {
   stats.avg_local_clustering = MeanCoefficient(stats.local_coefficients);
   stats.global_clustering = GlobalFromCounts(stats.triangles, stats.wedges);
   return stats;
+}
+
+std::vector<double> DegreeWiseClusteringFromCoefficients(
+    const CsrGraph& g, const std::vector<double>& coeffs) {
+  return DegreeWiseFromCoefficients(g, coeffs);
 }
 
 }  // namespace agmdp::graph

@@ -54,4 +54,15 @@ struct ClusteringStats {
 
 ClusteringStats ComputeClusteringStats(const CsrGraph& g, int threads = 1);
 
+/// Derives the full ClusteringStats bundle from already-computed per-node
+/// triangle counts — the ONE formula tail shared by ComputeClusteringStats
+/// and the fused kernel (fused_eval.h), so the two paths cannot drift.
+ClusteringStats ClusteringStatsFromTriangles(
+    const CsrGraph& g, std::vector<uint64_t> per_node_triangles);
+
+/// The c_d profile from already-computed local coefficients (same shared
+/// formula as DegreeWiseClustering, exported for the fused kernel).
+std::vector<double> DegreeWiseClusteringFromCoefficients(
+    const CsrGraph& g, const std::vector<double>& coeffs);
+
 }  // namespace agmdp::graph

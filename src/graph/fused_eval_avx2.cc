@@ -1,0 +1,74 @@
+// AVX2 arm of the fused triangle sweep — the only src/graph TU compiled
+// with -mavx2 (see CMakeLists.txt). It instantiates the SAME
+// TriangleCreditRange template as the scalar arm; only the
+// mark-membership primitive differs: eight candidate corners are tested
+// per step with a gather of their bitmap words. All operations are
+// integer, so the credited counts are bitwise-identical to the scalar arm.
+#include "src/graph/fused_eval_impl.h"
+
+#ifdef AGMDP_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace agmdp::graph::internal {
+
+#ifdef AGMDP_HAVE_AVX2
+
+namespace {
+
+struct Avx2Arch {
+  template <typename Visit>
+  static uint64_t CountMarked(const uint32_t* marks, const NodeId* ws,
+                              size_t count, Visit&& visit) {
+    uint64_t hits = 0;
+    size_t i = 0;
+    const __m256i thirty_one = _mm256_set1_epi32(31);
+    const __m256i one = _mm256_set1_epi32(1);
+    for (; i + 8 <= count; i += 8) {
+      const __m256i ids =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ws + i));
+      const __m256i words = _mm256_i32gather_epi32(
+          reinterpret_cast<const int*>(marks), _mm256_srli_epi32(ids, 5), 4);
+      const __m256i bits = _mm256_and_si256(
+          _mm256_srlv_epi32(words, _mm256_and_si256(ids, thirty_one)), one);
+      // Lane = 1 exactly when the corner is marked; iterate the set lanes
+      // of the compressed mask (triangle hits are sparse).
+      int mask =
+          _mm256_movemask_ps(_mm256_castsi256_ps(_mm256_cmpeq_epi32(bits, one)));
+      hits += static_cast<unsigned>(__builtin_popcount(mask));
+      while (mask != 0) {
+        const int lane = __builtin_ctz(mask);
+        visit(ws[i + lane]);
+        mask &= mask - 1;
+      }
+    }
+    for (; i < count; ++i) {
+      const NodeId w = ws[i];
+      if ((marks[w >> 5] >> (w & 31u)) & 1u) {
+        ++hits;
+        visit(w);
+      }
+    }
+    return hits;
+  }
+};
+
+}  // namespace
+
+void TriangleCreditRangeAvx2(const ForwardAdjacency& fwd, uint64_t begin,
+                             uint64_t end, uint32_t* marks,
+                             uint64_t* counts) {
+  TriangleCreditRange<Avx2Arch>(fwd, begin, end, marks, counts);
+}
+
+#else
+
+void TriangleCreditRangeAvx2(const ForwardAdjacency& fwd, uint64_t begin,
+                             uint64_t end, uint32_t* marks,
+                             uint64_t* counts) {
+  TriangleCreditRange<ScalarArch>(fwd, begin, end, marks, counts);
+}
+
+#endif  // AGMDP_HAVE_AVX2
+
+}  // namespace agmdp::graph::internal

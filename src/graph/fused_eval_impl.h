@@ -1,0 +1,84 @@
+// Internal shared body of the fused triangle sweep (sweep B of
+// fused_eval.h). Both dispatch arms instantiate TriangleCreditRange from
+// this ONE template — the scalar TU with ScalarArch, the -mavx2 TU with
+// its Avx2Arch — so the counting logic cannot drift between arms; an Arch
+// only supplies CountMarked, the innermost "which of these candidate
+// corners are marked" primitive. Everything here is integer arithmetic,
+// hence bitwise-identical across arms and thread counts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "src/graph/graph.h"
+
+namespace agmdp::graph::internal {
+
+/// Adjacency restricted to neighbors later in the (degree, id) total
+/// order, in CSR form: each triangle has exactly one corner from which the
+/// other two are both forward, and forward lists have size O(sqrt(m)) on
+/// the heavy nodes.
+struct ForwardAdjacency {
+  std::vector<uint64_t> offsets;  // length n + 1
+  std::vector<NodeId> neighbors;
+};
+
+/// Scalar arm of the mark-membership primitive. `marks` is a bitmap over
+/// node ids (32-bit words; bit w&31 of word w>>5). Calls visit(w) for, and
+/// counts, every marked id in ws[0..count).
+struct ScalarArch {
+  template <typename Visit>
+  static uint64_t CountMarked(const uint32_t* marks, const NodeId* ws,
+                              size_t count, Visit&& visit) {
+    uint64_t hits = 0;
+    for (size_t i = 0; i < count; ++i) {
+      const NodeId w = ws[i];
+      if ((marks[w >> 5] >> (w & 31u)) & 1u) {
+        ++hits;
+        visit(w);
+      }
+    }
+    return hits;
+  }
+};
+
+/// Credits every triangle whose lowest-(degree,id) corner lies in
+/// [begin, end) to all three of its corners in `counts`. `marks` is a
+/// zeroed bitmap of at least (n + 31) / 32 words, returned zeroed.
+template <typename Arch>
+void TriangleCreditRange(const ForwardAdjacency& fwd, uint64_t begin,
+                         uint64_t end, uint32_t* marks, uint64_t* counts) {
+  const NodeId* nbrs = fwd.neighbors.data();
+  for (uint64_t u = begin; u < end; ++u) {
+    const NodeId* first = nbrs + fwd.offsets[u];
+    const NodeId* last = nbrs + fwd.offsets[u + 1];
+    if (first == last) continue;
+    for (const NodeId* v = first; v != last; ++v) {
+      marks[*v >> 5] |= 1u << (*v & 31u);
+    }
+    // A marked member w of fwd(v) closes the triangle {u, v, w}; credit
+    // all three corners right here so no second pass is needed.
+    uint64_t through_u = 0;
+    for (const NodeId* v = first; v != last; ++v) {
+      const uint64_t hits =
+          Arch::CountMarked(marks, nbrs + fwd.offsets[*v],
+                            fwd.offsets[*v + 1] - fwd.offsets[*v],
+                            [&](NodeId w) { ++counts[w]; });
+      counts[*v] += hits;
+      through_u += hits;
+    }
+    counts[u] += through_u;
+    for (const NodeId* v = first; v != last; ++v) {
+      marks[*v >> 5] &= ~(1u << (*v & 31u));
+    }
+  }
+}
+
+/// AVX2 instantiation of TriangleCreditRange, compiled in the -mavx2 TU
+/// (falls back to the scalar instantiation when the arm is compiled out;
+/// dispatch never selects it then).
+void TriangleCreditRangeAvx2(const ForwardAdjacency& fwd, uint64_t begin,
+                             uint64_t end, uint32_t* marks, uint64_t* counts);
+
+}  // namespace agmdp::graph::internal

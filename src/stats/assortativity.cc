@@ -41,6 +41,34 @@ double NewmanFromMixing(const std::vector<double>& mixing, uint32_t k) {
 
 }  // namespace
 
+double DegreeAssortativityFromSums(double sum_xy, double sum_x,
+                                   double sum_x2, uint64_t num_edges) {
+  if (num_edges == 0) return 0.0;
+  return PearsonFromSums(sum_xy, sum_x, sum_x2, num_edges);
+}
+
+double AttributeAssortativityFromMixingCounts(
+    const std::vector<uint64_t>& counts, uint32_t k, uint64_t num_edges) {
+  if (num_edges == 0) return 0.0;
+  const double total = 2.0 * static_cast<double>(num_edges);
+  std::vector<double> mixing(counts.size());
+  for (size_t i = 0; i < counts.size(); ++i) {
+    mixing[i] = static_cast<double>(counts[i]) / total;
+  }
+  return NewmanFromMixing(mixing, k);
+}
+
+std::vector<double> PerAttributeHomophilyFromCounts(
+    const std::vector<uint64_t>& counts, uint64_t num_edges) {
+  std::vector<double> same(counts.size(), 0.0);
+  if (num_edges == 0) return same;
+  const double m = static_cast<double>(num_edges);
+  for (size_t a = 0; a < counts.size(); ++a) {
+    same[a] = static_cast<double>(counts[a]) / m;
+  }
+  return same;
+}
+
 double DegreeAssortativity(const graph::Graph& g) {
   if (g.num_edges() == 0) return 0.0;
   const graph::NodeId n = g.num_nodes();
@@ -100,7 +128,7 @@ double DegreeAssortativity(const graph::CsrGraph& g, int threads) {
     sum_x += px[u];
     sum_x2 += px2[u];
   }
-  return PearsonFromSums(sum_xy, sum_x, sum_x2, g.num_edges());
+  return DegreeAssortativityFromSums(sum_xy, sum_x, sum_x2, g.num_edges());
 }
 
 double AttributeAssortativity(const graph::AttributedGraph& g) {
@@ -143,12 +171,7 @@ double AttributeAssortativity(const graph::AttributedCsrGraph& g,
       [&](const std::vector<uint64_t>& local) {
         for (size_t i = 0; i < counts.size(); ++i) counts[i] += local[i];
       });
-  const double total = 2.0 * static_cast<double>(g.num_edges());
-  std::vector<double> mixing(counts.size());
-  for (size_t i = 0; i < counts.size(); ++i) {
-    mixing[i] = static_cast<double>(counts[i]) / total;
-  }
-  return NewmanFromMixing(mixing, k);
+  return AttributeAssortativityFromMixingCounts(counts, k, g.num_edges());
 }
 
 std::vector<double> PerAttributeHomophily(const graph::AttributedGraph& g) {
@@ -190,11 +213,7 @@ std::vector<double> PerAttributeHomophily(const graph::AttributedCsrGraph& g,
       [&](const std::vector<uint64_t>& local) {
         for (size_t a = 0; a < w; ++a) counts[a] += local[a];
       });
-  const double m = static_cast<double>(g.num_edges());
-  for (size_t a = 0; a < w; ++a) {
-    same[a] = static_cast<double>(counts[a]) / m;
-  }
-  return same;
+  return PerAttributeHomophilyFromCounts(counts, g.num_edges());
 }
 
 }  // namespace agmdp::stats

@@ -41,4 +41,24 @@ std::vector<double> PerAttributeHomophily(const graph::AttributedGraph& g);
 std::vector<double> PerAttributeHomophily(const graph::AttributedCsrGraph& g,
                                           int threads = 1);
 
+// Finalizers shared with the fused kernel (graph/fused_eval.h): the fused
+// sweep produces the same node-order-reduced partial sums and integer
+// tallies the kernels above accumulate, and these tails turn either
+// source into the statistic through ONE formula body.
+
+/// Pearson correlation over the 2m ordered endpoint pairs from the three
+/// accumulated degree sums; 0 for edgeless or constant-degree graphs.
+double DegreeAssortativityFromSums(double sum_xy, double sum_x,
+                                   double sum_x2, uint64_t num_edges);
+
+/// Newman's coefficient from the k x k row-major integer tallies over
+/// ordered edge endpoints; 0 for edgeless graphs or single-category mixes.
+double AttributeAssortativityFromMixingCounts(
+    const std::vector<uint64_t>& counts, uint32_t k, uint64_t num_edges);
+
+/// Same-value edge fraction per attribute bit from per-bit agreement
+/// tallies; every entry is 0 for edgeless graphs.
+std::vector<double> PerAttributeHomophilyFromCounts(
+    const std::vector<uint64_t>& counts, uint64_t num_edges);
+
 }  // namespace agmdp::stats

@@ -19,6 +19,25 @@ std::vector<std::pair<double, double>> Ccdf(std::vector<double> values) {
   return series;
 }
 
+std::vector<std::pair<double, double>> CcdfFromHistogram(
+    const std::vector<uint64_t>& hist) {
+  uint64_t total = 0;
+  for (uint64_t c : hist) total += c;
+  std::vector<std::pair<double, double>> series;
+  if (total == 0) return series;
+  const double n = static_cast<double>(total);
+  uint64_t cum = 0;
+  for (size_t d = 0; d < hist.size(); ++d) {
+    if (hist[d] == 0) continue;
+    cum += hist[d];
+    // cum values are <= d, so total - cum are strictly greater — the same
+    // integers Ccdf reaches after consuming the run of d's.
+    series.emplace_back(static_cast<double>(d),
+                        static_cast<double>(total - cum) / n);
+  }
+  return series;
+}
+
 std::vector<std::pair<double, double>> DownsampleCcdf(
     std::vector<std::pair<double, double>> series, size_t max_points) {
   if (max_points < 2 || series.size() <= max_points) return series;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -11,6 +12,13 @@ namespace agmdp::stats {
 
 /// (x, P[X > x]) at each distinct value of `values`, ascending in x.
 std::vector<std::pair<double, double>> Ccdf(std::vector<double> values);
+
+/// Ccdf of an integer sample given as a value -> count histogram (e.g.
+/// graph::DegreeHistogram): bitwise-identical to Ccdf on the expanded
+/// values, without materializing or sorting them (the Figure-2 series
+/// builds straight off the fused degree histogram).
+std::vector<std::pair<double, double>> CcdfFromHistogram(
+    const std::vector<uint64_t>& hist);
 
 /// Thins a CCDF series to at most `max_points` (keeps endpoints); used when
 /// printing plot series as text tables.

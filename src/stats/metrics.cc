@@ -5,6 +5,7 @@
 
 #include "src/graph/degree.h"
 #include "src/util/check.h"
+#include "src/util/simd.h"
 
 namespace agmdp::stats {
 
@@ -34,12 +35,14 @@ double HellingerDistance(std::vector<double> p, std::vector<double> q) {
   const size_t len = std::max(p.size(), q.size());
   p.resize(len, 0.0);
   q.resize(len, 0.0);
+  // The per-element terms are element-exact on every dispatch arm
+  // (util/simd.h), and the reduction below keeps the sequential
+  // index-order chain — so the distance is bitwise-identical whichever
+  // arm ran.
+  std::vector<double> terms(len);
+  util::SquaredSqrtDiff(p.data(), q.data(), len, terms.data());
   double sum = 0.0;
-  for (size_t i = 0; i < len; ++i) {
-    const double d = std::sqrt(std::max(0.0, p[i])) -
-                     std::sqrt(std::max(0.0, q[i]));
-    sum += d * d;
-  }
+  for (size_t i = 0; i < len; ++i) sum += terms[i];
   return std::sqrt(sum) / std::sqrt(2.0);
 }
 
@@ -61,10 +64,51 @@ double KsStatistic(std::vector<uint32_t> s1, std::vector<uint32_t> s2) {
   return ks;
 }
 
+double KsStatisticFromHistograms(const std::vector<uint64_t>& h1,
+                                 const std::vector<uint64_t>& h2) {
+  uint64_t n1 = 0, n2 = 0;
+  for (uint64_t c : h1) n1 += c;
+  for (uint64_t c : h2) n2 += c;
+  if (n1 == 0 || n2 == 0) return (n1 == 0) == (n2 == 0) ? 0.0 : 1.0;
+  // The merge walk of KsStatistic with each nonzero bin playing the run of
+  // equal sample values it expands to: the cumulative counts after each
+  // distinct value are the same integers, so the |F1 - F2| candidates —
+  // and hence the sup — are bitwise-identical.
+  const auto next_nonzero = [](const std::vector<uint64_t>& h, size_t from) {
+    while (from < h.size() && h[from] == 0) ++from;
+    return from;
+  };
+  size_t i = next_nonzero(h1, 0), j = next_nonzero(h2, 0);
+  uint64_t ci = 0, cj = 0;
+  double ks = 0.0;
+  while (i < h1.size() && j < h2.size()) {
+    const size_t d = std::min(i, j);
+    if (i == d) {
+      ci += h1[i];
+      i = next_nonzero(h1, i + 1);
+    }
+    if (j == d) {
+      cj += h2[j];
+      j = next_nonzero(h2, j + 1);
+    }
+    ks = std::max(ks, std::fabs(static_cast<double>(ci) /
+                                    static_cast<double>(n1) -
+                                static_cast<double>(cj) /
+                                    static_cast<double>(n2)));
+  }
+  return ks;
+}
+
 double KsDistance(std::vector<double> a, std::vector<double> b) {
   if (a.empty() || b.empty()) return a.empty() == b.empty() ? 0.0 : 1.0;
   std::sort(a.begin(), a.end());
   std::sort(b.begin(), b.end());
+  return KsDistanceSorted(a, b);
+}
+
+double KsDistanceSorted(const std::vector<double>& a,
+                        const std::vector<double>& b) {
+  if (a.empty() || b.empty()) return a.empty() == b.empty() ? 0.0 : 1.0;
   const double na = static_cast<double>(a.size());
   const double nb = static_cast<double>(b.size());
   size_t i = 0, j = 0;
@@ -98,17 +142,22 @@ namespace {
 // (DESIGN.md snapshot contract).
 template <typename AnyGraph>
 std::vector<double> DegreeDistributionImpl(const AnyGraph& g) {
-  std::vector<uint64_t> hist = graph::DegreeHistogram(g);
+  return DegreeDistributionFromHistogram(graph::DegreeHistogram(g),
+                                         g.num_nodes());
+}
+
+}  // namespace
+
+std::vector<double> DegreeDistributionFromHistogram(
+    const std::vector<uint64_t>& hist, uint64_t num_nodes) {
   std::vector<double> dist(hist.size(), 0.0);
-  const double n = static_cast<double>(g.num_nodes());
+  const double n = static_cast<double>(num_nodes);
   if (n == 0.0) return dist;
   for (size_t d = 0; d < hist.size(); ++d) {
     dist[d] = static_cast<double>(hist[d]) / n;
   }
   return dist;
 }
-
-}  // namespace
 
 std::vector<double> DegreeDistribution(const graph::Graph& g) {
   return DegreeDistributionImpl(g);

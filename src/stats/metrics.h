@@ -30,11 +30,24 @@ double HellingerDistance(std::vector<double> p, std::vector<double> q);
 /// degree values.
 double KsStatistic(std::vector<uint32_t> s1, std::vector<uint32_t> s2);
 
+/// KsStatistic on two integer samples given as value -> count histograms
+/// (e.g. graph::DegreeHistogram): bitwise-identical to KsStatistic on the
+/// expanded sorted sequences, without materializing or sorting them. The
+/// fused evaluation path feeds degree histograms straight into this.
+double KsStatisticFromHistograms(const std::vector<uint64_t>& h1,
+                                 const std::vector<uint64_t>& h2);
+
 /// KS statistic over real-valued samples: sup_x |F_1(x) - F_2(x)|. Because
 /// sup |F_1 - F_2| = sup |(1-F_1) - (1-F_2)|, this is also the sup-norm
 /// distance between the two empirical CCDF step functions (the curves of
 /// Figures 2/3). Empty-vs-nonempty is distance 1, empty-vs-empty is 0.
 double KsDistance(std::vector<double> a, std::vector<double> b);
+
+/// KsDistance over samples the caller already sorted ascending (no copies,
+/// no re-sorts — EvaluateRelease keeps the reference side presorted in the
+/// profile and sorts the released side once).
+double KsDistanceSorted(const std::vector<double>& a,
+                        const std::vector<double>& b);
 
 /// Kullback-Leibler divergence KL(p || q) = sum_{p_i > 0} p_i ln(p_i / q_i)
 /// over distributions padded with zeros to a common length; q_i is floored
@@ -46,6 +59,11 @@ double KlDivergence(std::vector<double> p, std::vector<double> q,
 /// Normalized degree histogram of a graph (mass at each degree value).
 std::vector<double> DegreeDistribution(const graph::Graph& g);
 std::vector<double> DegreeDistribution(const graph::CsrGraph& g);
+
+/// The same distribution from an already-computed degree histogram — the
+/// shared tail of the graph overloads and the fused evaluation path.
+std::vector<double> DegreeDistributionFromHistogram(
+    const std::vector<uint64_t>& hist, uint64_t num_nodes);
 
 /// Hellinger distance between the degree distributions of two graphs (the
 /// paper's H_S).

@@ -5,6 +5,7 @@
 #include "src/agm/theta_f.h"
 #include "src/graph/clustering.h"
 #include "src/graph/degree.h"
+#include "src/graph/fused_eval.h"
 #include "src/graph/triangle_count.h"
 #include "src/stats/metrics.h"
 
@@ -28,12 +29,15 @@ GraphSummary Summarize(const graph::CsrGraph& g, int threads) {
   s.num_edges = g.num_edges();
   s.max_degree = g.MaxDegree();
   s.avg_degree = graph::AverageDegree(g);
-  // One run of the per-node triangle kernel serves all three statistics.
-  const graph::ClusteringStats clustering =
-      graph::ComputeClusteringStats(g, threads);
-  s.triangles = clustering.triangles;
-  s.avg_local_clustering = clustering.avg_local_clustering;
-  s.global_clustering = clustering.global_clustering;
+  // The fused pass serves all three statistics from one run of the
+  // SIMD-dispatched triangle sweep (same values as ComputeClusteringStats,
+  // bit for bit).
+  graph::FusedOptions opts;
+  opts.threads = threads;
+  const graph::FusedStats fused = graph::FusedEvaluate(g, opts);
+  s.triangles = fused.clustering.triangles;
+  s.avg_local_clustering = fused.clustering.avg_local_clustering;
+  s.global_clustering = fused.clustering.global_clustering;
   return s;
 }
 

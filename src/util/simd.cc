@@ -1,0 +1,92 @@
+#include "src/util/simd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+namespace agmdp::util {
+
+namespace {
+
+bool Avx2CpuSupport() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2");
+#else
+  return false;
+#endif
+}
+
+// The environment switch is read once: flipping it mid-process would make
+// "which arm ran" depend on call order, which is exactly the kind of state
+// the determinism contract forbids. Tests use SetSimdIsaOverride instead.
+bool Avx2DisabledByEnv() {
+  static const bool disabled = [] {
+    const char* value = std::getenv("AGMDP_DISABLE_AVX2");
+    return value != nullptr && value[0] != '\0' &&
+           std::strcmp(value, "0") != 0;
+  }();
+  return disabled;
+}
+
+SimdIsa g_override = SimdIsa::kAuto;
+
+}  // namespace
+
+const char* SimdIsaName(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kAuto:
+      return "auto";
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+bool Avx2Supported() {
+  static const bool supported = internal::Avx2Compiled() && Avx2CpuSupport();
+  return supported;
+}
+
+SimdIsa ResolveSimdIsa(SimdIsa requested) {
+  if (requested == SimdIsa::kAuto) {
+    if (g_override != SimdIsa::kAuto) return g_override;
+    return (Avx2Supported() && !Avx2DisabledByEnv()) ? SimdIsa::kAvx2
+                                                     : SimdIsa::kScalar;
+  }
+  if (requested == SimdIsa::kAvx2 &&
+      (!Avx2Supported() || Avx2DisabledByEnv())) {
+    return SimdIsa::kScalar;
+  }
+  return requested;
+}
+
+void SetSimdIsaOverride(SimdIsa isa) {
+  g_override = isa == SimdIsa::kAuto ? SimdIsa::kAuto : ResolveSimdIsa(isa);
+}
+
+void SquaredSqrtDiff(const double* p, const double* q, size_t n,
+                     double* out) {
+  if (ActiveSimdIsa() == SimdIsa::kAvx2) {
+    internal::SquaredSqrtDiffAvx2(p, q, n, out);
+  } else {
+    internal::SquaredSqrtDiffScalar(p, q, n, out);
+  }
+}
+
+namespace internal {
+
+void SquaredSqrtDiffScalar(const double* p, const double* q, size_t n,
+                           double* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const double d =
+        std::sqrt(std::max(0.0, p[i])) - std::sqrt(std::max(0.0, q[i]));
+    out[i] = d * d;
+  }
+}
+
+}  // namespace internal
+
+}  // namespace agmdp::util

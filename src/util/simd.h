@@ -1,0 +1,74 @@
+// Runtime ISA dispatch for the SIMD-vectorized analytics kernels
+// (DESIGN.md "Fused evaluation kernel").
+//
+// Only *element-exact* operations are ever vectorized: integer arithmetic,
+// gathers, compares, and IEEE correctly-rounded double sqrt — operations
+// whose vector lanes produce bit-for-bit the same value as the scalar
+// expression on the same element. Floating-point *accumulation chains* are
+// never reordered by the vector arms, so every dispatched kernel is
+// bitwise-identical across scalar and AVX2 (and therefore across machines
+// with and without AVX2). The differential tests in fused_eval_test.cc
+// pin both arms against the legacy kernels.
+//
+// Dispatch resolution:
+//   * kAuto picks the best arm compiled in AND supported by the CPU,
+//     capped to scalar when the AGMDP_DISABLE_AVX2 environment variable is
+//     set (non-empty, not "0") — the switch the CI scalar leg flips.
+//   * An explicit kAvx2 request is clamped to kScalar when the arm is
+//     unavailable or disabled, never the other way around.
+// The AVX2 arm lives in separately-flagged TUs (compiled with -mavx2 and
+// -DAGMDP_HAVE_AVX2; see CMakeLists.txt), so the rest of the library can
+// be built for the baseline ISA.
+#pragma once
+
+#include <cstddef>
+
+namespace agmdp::util {
+
+enum class SimdIsa {
+  kAuto = 0,  // resolve to the best available arm at runtime
+  kScalar,
+  kAvx2,
+};
+
+/// Human-readable arm name ("scalar" / "avx2"; "auto" only for kAuto).
+const char* SimdIsaName(SimdIsa isa);
+
+/// True when the AVX2 arm is compiled in and the CPU reports AVX2 support.
+/// Ignores the environment switch — use ResolveSimdIsa for that.
+bool Avx2Supported();
+
+/// Resolves a requested arm per the dispatch rules above. Never returns
+/// kAuto.
+SimdIsa ResolveSimdIsa(SimdIsa requested);
+
+/// The arm auto-dispatched kernels run on right now.
+inline SimdIsa ActiveSimdIsa() { return ResolveSimdIsa(SimdIsa::kAuto); }
+
+/// Pins ResolveSimdIsa(kAuto) to `isa` so tests and benches can drive the
+/// full evaluation stack down one dispatch arm; kAuto restores detection.
+/// The pin itself is clamped to the supported arms. Not thread-safe against
+/// concurrently dispatching kernels — flip it only between evaluations.
+void SetSimdIsaOverride(SimdIsa isa);
+
+/// out[i] = (sqrt(max(p[i], 0)) - sqrt(max(q[i], 0)))^2 on the active arm.
+/// Element-exact (VSQRTPD is correctly rounded, as std::sqrt is), so both
+/// arms produce bitwise-identical outputs; the Hellinger accumulation over
+/// `out` stays a sequential index-order sum at the caller.
+void SquaredSqrtDiff(const double* p, const double* q, size_t n, double* out);
+
+namespace internal {
+
+// Implemented in simd_avx2.cc: true only when that TU was compiled with
+// the AVX2 flags (AGMDP_HAVE_AVX2).
+bool Avx2Compiled();
+
+void SquaredSqrtDiffScalar(const double* p, const double* q, size_t n,
+                           double* out);
+// Falls back to the scalar body when AGMDP_HAVE_AVX2 was not defined.
+void SquaredSqrtDiffAvx2(const double* p, const double* q, size_t n,
+                         double* out);
+
+}  // namespace internal
+
+}  // namespace agmdp::util

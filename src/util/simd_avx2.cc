@@ -1,0 +1,49 @@
+// AVX2 arm of the util::simd helpers. This TU is the only one in src/util
+// compiled with -mavx2 (plus -DAGMDP_HAVE_AVX2); when the build disables
+// the arm, the same TU compiles scalar fallbacks so the dispatch symbols
+// always exist.
+#include "src/util/simd.h"
+
+#ifdef AGMDP_HAVE_AVX2
+#include <immintrin.h>
+#endif
+
+namespace agmdp::util::internal {
+
+bool Avx2Compiled() {
+#ifdef AGMDP_HAVE_AVX2
+  return true;
+#else
+  return false;
+#endif
+}
+
+#ifdef AGMDP_HAVE_AVX2
+
+void SquaredSqrtDiffAvx2(const double* p, const double* q, size_t n,
+                         double* out) {
+  const __m256d zero = _mm256_setzero_pd();
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    // max(x, +0.0) with x as src1: maxpd returns src2 (+0.0) when x is NaN
+    // or -0.0, exactly like the scalar std::max(0.0, x).
+    const __m256d a =
+        _mm256_sqrt_pd(_mm256_max_pd(_mm256_loadu_pd(p + i), zero));
+    const __m256d b =
+        _mm256_sqrt_pd(_mm256_max_pd(_mm256_loadu_pd(q + i), zero));
+    const __m256d d = _mm256_sub_pd(a, b);
+    _mm256_storeu_pd(out + i, _mm256_mul_pd(d, d));
+  }
+  if (i < n) SquaredSqrtDiffScalar(p + i, q + i, n - i, out + i);
+}
+
+#else
+
+void SquaredSqrtDiffAvx2(const double* p, const double* q, size_t n,
+                         double* out) {
+  SquaredSqrtDiffScalar(p, q, n, out);
+}
+
+#endif  // AGMDP_HAVE_AVX2
+
+}  // namespace agmdp::util::internal

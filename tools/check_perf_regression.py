@@ -26,12 +26,14 @@ REQUIRED_TRUE_FLAGS = [
     "sampler_deterministic_1_2_4",
     "csr_deterministic_1_2_4",
     "serving_deterministic_1_2_4",
+    "fused_deterministic",
 ]
 REQUIRED_KEYS = [
     "hardware_concurrency",
     "csr_analytics_seconds",
     "sampler_hotpath_seconds",
     "serving_seconds",
+    "fused_eval_seconds",
 ]
 
 # The headline properties, gated machine-independently: each ratio compares
@@ -51,6 +53,23 @@ MIN_EDGE_SET_SPEEDUP = 1.0
 # core (measured ~3-4x); cross-sample pool parallelism on multi-core
 # runners only adds to it.
 MIN_SERVING_SPEEDUP = 2.0
+# Fused evaluation kernel (PR 6): the two-sweep fused EvaluateRelease vs
+# the pre-fusion one-pass-per-metric CSR path, same snapshot, same
+# reference profile, 1 thread, both in this process (measured ~2x).
+MIN_FUSED_SPEEDUP = 1.5
+
+# Parallel wall-clock speedups, by contrast, are NOT machine-independent:
+# a 1-core container runs every "thread count" on the same core and can
+# only show overhead. These gates apply when both documents were recorded
+# with enough cores to make the ratio meaningful; otherwise they are
+# skipped with a printed note.
+MIN_CORES_FOR_PARALLEL_GATES = 4
+PARALLEL_SPEEDUP_GATES = [
+    ("sampler_speedup_4t", 1.2,
+     "the sharded sampler must scale on a 4-core runner"),
+    ("fused_eval_parallel_speedup_4t", 1.2,
+     "the fused evaluation kernel must scale on a 4-core runner"),
+]
 
 
 def timing_leaves(doc, prefix="", in_seconds=False):
@@ -97,6 +116,9 @@ def main(argv):
         ("serving_throughput_speedup", MIN_SERVING_SPEEDUP,
          "ReleaseEngine.SampleMany must serve releases at least 2x faster "
          "than repeated RunPrivateRelease (fit amortized away)"),
+        ("fused_eval_speedup", MIN_FUSED_SPEEDUP,
+         "the fused evaluation kernel must beat the one-pass-per-metric "
+         "CSR path"),
     ]
     for key, floor, why in speedup_gates:
         speedup = fresh.get(key)
@@ -106,6 +128,22 @@ def main(argv):
                 f"(> {floor:.1f}x; both sides timed on this runner)")
         else:
             print(f"{key}: {speedup:.2f}x (must exceed {floor:.1f}x)")
+
+    cores = [doc.get("hardware_concurrency") for doc in (fresh, baseline)]
+    if all(isinstance(c, int) and c >= MIN_CORES_FOR_PARALLEL_GATES
+           for c in cores):
+        for key, floor, why in PARALLEL_SPEEDUP_GATES:
+            speedup = fresh.get(key)
+            if not isinstance(speedup, (int, float)) or speedup <= floor:
+                failures.append(
+                    f"{key} = {speedup!r}: {why} (> {floor:.1f}x)")
+            else:
+                print(f"{key}: {speedup:.2f}x (must exceed {floor:.1f}x)")
+    else:
+        print(f"note: skipping parallel speedup gates "
+              f"({', '.join(key for key, _, _ in PARALLEL_SPEEDUP_GATES)}): "
+              f"fresh/baseline cores = {cores[0]!r}/{cores[1]!r}, "
+              f"need >= {MIN_CORES_FOR_PARALLEL_GATES} on both")
 
     if fresh.get("scale") != baseline.get("scale"):
         failures.append(
