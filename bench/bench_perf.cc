@@ -20,8 +20,15 @@
 // filter + per-proposal EncodeEdgeConfig) — both sides timed in-process,
 // so the resulting sampler_hotpath_speedup gates machine-independently.
 //
+// The server_seconds section drives a live `agmdp serve` daemon (real TCP
+// sockets, ephemeral port) with 4 concurrent clients streaming sample
+// requests: sustained samples/sec, per-request p50/p99 latency, and the
+// server_deterministic flag (every checksum served under concurrency must
+// match a sequential in-process SampleMany oracle bit for bit).
+//
 //   ./bench_perf [--scale=0.2] [--trials=3] [--out=BENCH_perf.json]
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -34,6 +41,8 @@
 
 #include "bench/bench_util.h"
 #include "src/agm/agm_dp.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/agm/theta_f.h"
 #include "src/datasets/datasets.h"
 #include "src/dp/edge_truncation.h"
@@ -631,6 +640,160 @@ int main(int argc, char** argv) {
     AGMDP_CHECK_MSG(deterministic,
                     "served samples differ across pool sizes or from "
                     "sequential serving");
+  }
+
+  // ----------------------------------------------------- serving daemon
+  // The full `agmdp serve` request path under concurrent load: a live
+  // daemon on an ephemeral TCP port, 4 client threads each streaming
+  // lock-step sample requests over its own connection. Sustained
+  // samples/sec and per-request p50/p99 latency measure the socket +
+  // parse + queue + batch + sample + serialize path end to end; every
+  // checksum served under concurrency must match a sequential in-process
+  // SampleMany oracle (the batched-determinism contract on the wire).
+  {
+    constexpr int kClients = 4;
+    constexpr int kPerClient = 8;
+    constexpr uint64_t kServeSeed = 77;
+
+    pipeline::PipelineConfig config;
+    config.epsilon = std::log(2.0);
+    config.model = "fcl";
+    config.sample.acceptance_iterations = 2;
+    util::Rng fit_rng(41);
+    auto fitted = pipeline::FitReleaseArtifact(input, config, fit_rng);
+    AGMDP_CHECK_MSG(fitted.ok(), fitted.status().ToString().c_str());
+    const std::string artifact_path = out_path + ".server_artifact";
+    {
+      auto st = pipeline::WriteReleaseArtifact(fitted.value(), artifact_path);
+      AGMDP_CHECK_MSG(st.ok(), st.ToString().c_str());
+    }
+
+    // Sequential oracle: one in-process engine, one SampleMany sweep over
+    // the exact sequence range the clients will request.
+    std::vector<uint64_t> oracle(kClients * kPerClient, 0);
+    {
+      pipeline::EngineOptions options;
+      options.threads = 1;
+      options.sample = config.sample;
+      auto engine = pipeline::ReleaseEngine::Create(fitted.value(), options);
+      AGMDP_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+      pipeline::SampleRequest base;
+      base.seed = kServeSeed;
+      base.sequence = 0;
+      auto graphs = engine.value()->SampleMany(kClients * kPerClient, base);
+      AGMDP_CHECK_MSG(graphs.ok(), graphs.status().ToString().c_str());
+      for (size_t i = 0; i < graphs.value().size(); ++i) {
+        oracle[i] = server::GraphChecksum(graphs.value()[i]);
+      }
+    }
+
+    server::ServerOptions server_options;
+    server_options.port = 0;
+    server_options.worker_threads = 2;
+    server_options.engine_threads = 1;
+    server_options.max_queue = 256;
+    server_options.default_tenant_budget = 100.0;
+    auto daemon = server::Server::Start(server_options);
+    AGMDP_CHECK_MSG(daemon.ok(), daemon.status().ToString().c_str());
+    const int port = daemon.value()->port();
+
+    json.Key("server_seconds").BeginObject();
+    auto entry = [&](const std::string& name, double seconds) {
+      json.Key(name).Value(seconds);
+      std::printf("%-28s %10.3f ms\n", ("server/" + name).c_str(),
+                  1e3 * seconds);
+    };
+
+    // Admit the engine through the wire (the cold path a tenant pays).
+    {
+      auto loader = server::Client::Connect("127.0.0.1", port);
+      AGMDP_CHECK_MSG(loader.ok(), loader.status().ToString().c_str());
+      server::Request load;
+      load.op = server::RequestOp::kLoad;
+      load.id = 1;
+      load.tenant = "bench";
+      load.name = "bench";
+      load.artifact = artifact_path;
+      const Clock::time_point start = Clock::now();
+      auto response = loader.value().Call(load);
+      const double seconds =
+          std::chrono::duration<double>(Clock::now() - start).count();
+      AGMDP_CHECK_MSG(response.ok(), response.status().ToString().c_str());
+      AGMDP_CHECK_MSG(response.value().status.ok(),
+                      response.value().status.ToString().c_str());
+      entry("daemon_load", seconds);
+    }
+
+    // Concurrent sustained load, best-of-trials wall clock; latencies are
+    // pooled across trials for stable percentiles.
+    std::vector<double> latencies;
+    std::atomic<bool> deterministic{true};
+    double best_wall = 1e300;
+    for (int t = 0; t < trials; ++t) {
+      std::vector<std::vector<double>> per_client(kClients);
+      std::vector<std::thread> threads;
+      const Clock::time_point start = Clock::now();
+      for (int c = 0; c < kClients; ++c) {
+        threads.emplace_back([&, c] {
+          auto client = server::Client::Connect("127.0.0.1", port);
+          AGMDP_CHECK_MSG(client.ok(), client.status().ToString().c_str());
+          for (int i = 0; i < kPerClient; ++i) {
+            server::Request request;
+            request.op = server::RequestOp::kSample;
+            request.id = static_cast<uint64_t>(c * kPerClient + i);
+            request.tenant = "bench";
+            request.name = "bench";
+            request.seed = kServeSeed;
+            request.sequence = static_cast<uint64_t>(c * kPerClient + i);
+            request.count = 1;
+            const Clock::time_point sent = Clock::now();
+            auto response = client.value().Call(request);
+            per_client[static_cast<size_t>(c)].push_back(
+                std::chrono::duration<double>(Clock::now() - sent).count());
+            AGMDP_CHECK_MSG(response.ok(),
+                            response.status().ToString().c_str());
+            AGMDP_CHECK_MSG(response.value().status.ok(),
+                            response.value().status.ToString().c_str());
+            if (response.value().graphs.size() != 1 ||
+                response.value().graphs[0].checksum !=
+                    oracle[request.sequence]) {
+              deterministic = false;
+            }
+          }
+        });
+      }
+      for (std::thread& thread : threads) thread.join();
+      best_wall = std::min(
+          best_wall,
+          std::chrono::duration<double>(Clock::now() - start).count());
+      for (const std::vector<double>& lats : per_client) {
+        latencies.insert(latencies.end(), lats.begin(), lats.end());
+      }
+    }
+    std::sort(latencies.begin(), latencies.end());
+    auto percentile = [&](double p) {
+      const size_t idx = static_cast<size_t>(
+          p * static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    entry("wall_4_clients", best_wall);
+    entry("latency_p50", percentile(0.50));
+    entry("latency_p99", percentile(0.99));
+    json.EndObject();
+
+    const double samples_per_sec =
+        best_wall > 0.0 ? kClients * kPerClient / best_wall : 0.0;
+    json.Key("server_samples_per_sec").Value(samples_per_sec);
+    json.Key("server_deterministic").Value(deterministic.load());
+    std::printf("server samples/sec @4 clients %10.1f (deterministic: %s)\n",
+                samples_per_sec, deterministic ? "yes" : "NO");
+    AGMDP_CHECK_MSG(deterministic,
+                    "daemon-served checksums differ from the sequential "
+                    "oracle");
+
+    daemon.value()->Stop();
+    daemon.value()->Wait();
+    std::remove(artifact_path.c_str());
   }
 
   json.EndObject();

@@ -50,6 +50,39 @@ inline std::vector<datasets::DatasetId> SelectedDatasets(
   return datasets::AllDatasets();
 }
 
+/// Typed variant of SelectedDatasets: an unknown --dataset name is an
+/// InvalidArgument listing the registry, not an abort.
+inline util::Result<std::vector<datasets::DatasetId>> TrySelectedDatasets(
+    const util::Flags& flags) {
+  if (!flags.Has("dataset")) return datasets::AllDatasets();
+  const std::string name = flags.GetString("dataset", "");
+  std::string known;
+  for (datasets::DatasetId id : datasets::AllDatasets()) {
+    if (datasets::PaperSpec(id).name == name) {
+      return std::vector<datasets::DatasetId>{id};
+    }
+    if (!known.empty()) known += "|";
+    known += datasets::PaperSpec(id).name;
+  }
+  return util::Status::InvalidArgument("--dataset='" + name +
+                                       "' is not one of " + known);
+}
+
+/// Typed variant of LoadDataset: generation failures (absent dataset, bad
+/// scale) surface as the generator's Status instead of aborting the bench.
+inline util::Result<graph::AttributedGraph> TryLoadDataset(
+    datasets::DatasetId id, const util::Flags& flags) {
+  const double scale = ScaleFor(id, flags);
+  const auto seed = static_cast<uint64_t>(flags.GetInt("seed", 20160626));
+  auto g = datasets::GenerateDataset(id, scale, seed);
+  if (!g.ok()) return g.status();
+  std::printf("# dataset %s scale=%.3g: n=%u m=%llu\n",
+              datasets::PaperSpec(id).name.c_str(), scale,
+              g.value().num_nodes(),
+              static_cast<unsigned long long>(g.value().num_edges()));
+  return g;
+}
+
 inline graph::AttributedGraph LoadDataset(datasets::DatasetId id,
                                           const util::Flags& flags) {
   const double scale = ScaleFor(id, flags);

@@ -335,4 +335,33 @@ util::Result<ReleaseArtifact> ReadReleaseArtifact(const std::string& path) {
   return ReleaseArtifactFromJson(buffer.str());
 }
 
+uint64_t EstimateArtifactBytes(const ReleaseArtifact& artifact) {
+  // Dominated by the parameter vectors (degree_sequence is length n); the
+  // strings and scalar fields are noise next to them at any real scale.
+  uint64_t bytes = sizeof(ReleaseArtifact);
+  bytes += artifact.params.theta_x.size() * sizeof(double);
+  bytes += artifact.params.theta_f.size() * sizeof(double);
+  bytes += artifact.params.degree_sequence.size() * sizeof(uint32_t);
+  bytes += artifact.model.size();
+  for (const auto& [label, eps] : artifact.ledger) {
+    (void)eps;
+    bytes += label.size() + sizeof(std::pair<std::string, double>);
+  }
+  return bytes;
+}
+
+uint64_t ReleaseArtifactReleaseKey(const ReleaseArtifact& artifact) {
+  // FNV-1a over the canonical JSON serialization: two artifacts are the
+  // same *release* exactly when every fitted value matches bit for bit.
+  // (config_fingerprint alone cannot tell releases apart — two fits of the
+  // same config from different data or seeds share it.)
+  const std::string body = ReleaseArtifactToJson(artifact);
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : body) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace agmdp::pipeline

@@ -78,4 +78,17 @@ util::Status WriteReleaseArtifact(const ReleaseArtifact& artifact,
                                   const std::string& path);
 util::Result<ReleaseArtifact> ReadReleaseArtifact(const std::string& path);
 
+/// Resident-memory estimate of the artifact's parameters — the sizing hook
+/// the serving layer's byte-budgeted engine cache charges admissions by
+/// (together with ReleaseEngine::ApproxBytes, which adds the serving
+/// state on top).
+uint64_t EstimateArtifactBytes(const ReleaseArtifact& artifact);
+
+/// Identity of the *release* (not just the config): a stable FNV-1a hash
+/// of the canonical JSON serialization. The server's per-tenant epsilon
+/// ledger charges each tenant once per release key, so re-loading or
+/// re-sampling the same stored release never double-charges while a
+/// different fit — even under the same config fingerprint — does.
+uint64_t ReleaseArtifactReleaseKey(const ReleaseArtifact& artifact);
+
 }  // namespace agmdp::pipeline

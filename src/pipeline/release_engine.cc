@@ -78,6 +78,17 @@ ReleaseEngine::ReleaseEngine(ReleaseArtifact artifact,
       base_options_(std::move(base_options)),
       pool_(pool_workers) {}
 
+uint64_t ReleaseEngine::ApproxBytes() const {
+  // Per-worker overhead approximates a parked thread: kernel stack plus
+  // pool bookkeeping. Deliberately round — the cache budget is a resource
+  // guardrail, not an allocator audit.
+  constexpr uint64_t kPerWorkerBytes = 64 * 1024;
+  return EstimateArtifactBytes(artifact_) +
+         calibrated_acceptance_.size() * sizeof(double) +
+         static_cast<uint64_t>(pool_.num_workers()) * kPerWorkerBytes +
+         sizeof(ReleaseEngine);
+}
+
 agm::AgmSampleOptions ReleaseEngine::RequestOptions(
     int refine_iterations) const {
   agm::AgmSampleOptions resolved = base_options_;

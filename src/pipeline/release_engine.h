@@ -81,6 +81,15 @@ class ReleaseEngine {
   ReleaseEngine& operator=(const ReleaseEngine&) = delete;
 
   const ReleaseArtifact& artifact() const { return artifact_; }
+
+  /// Approximate resident bytes of this serving handle: the artifact's
+  /// parameter vectors plus the calibrated acceptance vector and a fixed
+  /// per-pool-worker overhead (thread stack + bookkeeping). The sizing
+  /// hook the server's byte-budgeted engine cache charges admissions by;
+  /// an estimate, not an audit — stable for a given artifact and pool
+  /// size, which is what budget arithmetic needs.
+  uint64_t ApproxBytes() const;
+
   /// Whether requests are served from a calibrated acceptance vector.
   bool calibrated() const { return !calibrated_acceptance_.empty(); }
   const std::vector<double>& calibrated_acceptance() const {

@@ -1,0 +1,108 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace agmdp::server {
+
+util::Result<Client> Client::Connect(const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    return util::Status::InvalidArgument("client: port must be in [1,65535]");
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return util::Status::Internal(std::string("client: socket(): ") +
+                                  std::strerror(errno));
+  }
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Status::InvalidArgument("client: bad address '" + host +
+                                         "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    return util::Status::Unavailable("client: connect(" + host + ":" +
+                                     std::to_string(port) + "): " + err);
+  }
+  return Client(fd);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), pending_(std::move(other.pending_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    pending_ = std::move(other.pending_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+util::Status Client::Send(const Request& request) {
+  const std::string line = SerializeRequest(request) + "\n";
+  size_t sent = 0;
+  while (sent < line.size()) {
+    const ssize_t n =
+        ::send(fd_, line.data() + sent, line.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      return util::Status::Unavailable(
+          std::string("client: send(): ") +
+          (n == 0 ? "connection closed" : std::strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::Status();
+}
+
+util::Result<Response> Client::ReadResponse() {
+  char buf[4096];
+  while (true) {
+    const size_t newline = pending_.find('\n');
+    if (newline != std::string::npos) {
+      std::string line = pending_.substr(0, newline);
+      pending_.erase(0, newline + 1);
+      if (line.empty()) continue;
+      return ParseResponse(line);
+    }
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n <= 0) {
+      return util::Status::Unavailable(
+          "client: server closed the connection");
+    }
+    pending_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+util::Result<Response> Client::Call(const Request& request) {
+  if (auto st = Send(request); !st.ok()) return st;
+  auto response = ReadResponse();
+  if (!response.ok()) return response;
+  if (response.value().id != request.id) {
+    return util::Status::Internal(
+        "client: response id " + std::to_string(response.value().id) +
+        " does not match request id " + std::to_string(request.id) +
+        " (pipelined caller should match ids itself)");
+  }
+  return response;
+}
+
+}  // namespace agmdp::server

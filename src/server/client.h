@@ -1,0 +1,49 @@
+// Minimal blocking client for the `agmdp serve` protocol. One TCP
+// connection, newline-delimited JSON lines; used by the CLI's client mode,
+// the server tests and the serving benchmark.
+//
+// Not thread-safe: one Client per thread. Responses on a connection may be
+// answered out of request order when the server batches, so pipelined
+// callers (Send() several, then ReadResponse() several) must match the
+// echoed `id` themselves; the lock-step Call() needs no matching.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/server/protocol.h"
+#include "src/util/status.h"
+
+namespace agmdp::server {
+
+class Client {
+ public:
+  /// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
+  static util::Result<Client> Connect(const std::string& host, int port);
+
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client();
+
+  /// Sends one request line.
+  util::Status Send(const Request& request);
+
+  /// Blocks for the next response line. Fails with Unavailable when the
+  /// server closes the connection, InvalidArgument on a garbled line.
+  util::Result<Response> ReadResponse();
+
+  /// Send + ReadResponse, verifying the echoed id. The transport-level
+  /// convenience; the *response* may still carry an error status.
+  util::Result<Response> Call(const Request& request);
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  int fd_ = -1;
+  /// Bytes received but not yet consumed as a full line.
+  std::string pending_;
+};
+
+}  // namespace agmdp::server

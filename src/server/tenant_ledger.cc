@@ -1,0 +1,81 @@
+#include "src/server/tenant_ledger.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace agmdp::server {
+
+TenantLedger::TenantLedger(TenantLedgerOptions options)
+    : options_(std::move(options)) {
+  for (const auto& [tenant, budget] : options_.budgets) {
+    tenants_[tenant].budget = budget;
+  }
+}
+
+TenantLedger::TenantState* TenantLedger::Resolve(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return &it->second;
+  if (options_.default_budget <= 0.0) return nullptr;
+  TenantState& state = tenants_[tenant];
+  state.budget = options_.default_budget;
+  return &state;
+}
+
+util::Status TenantLedger::Charge(const std::string& tenant,
+                                  uint64_t release_key, double epsilon) {
+  if (tenant.empty()) {
+    return util::Status::InvalidArgument(
+        "tenant ledger: request is missing a tenant");
+  }
+  if (epsilon < 0.0) {
+    return util::Status::InvalidArgument(
+        "tenant ledger: negative epsilon charge");
+  }
+  const std::lock_guard<std::mutex> lock(mu_);
+  TenantState* state = Resolve(tenant);
+  if (state == nullptr) {
+    return util::Status::ResourceExhausted(
+        "tenant ledger: tenant '" + tenant +
+        "' has no budget and the server allows no default");
+  }
+  if (std::find(state->charged.begin(), state->charged.end(), release_key) !=
+      state->charged.end()) {
+    // Already paid for this release: sampling it again is post-processing.
+    return util::Status();
+  }
+  if (state->spent + epsilon > state->budget) {
+    std::ostringstream msg;
+    msg << "tenant ledger: tenant '" << tenant << "' would spend "
+        << state->spent + epsilon << " of budget " << state->budget
+        << " (spent " << state->spent << ", release costs " << epsilon << ")";
+    return util::Status::ResourceExhausted(msg.str());
+  }
+  state->spent += epsilon;
+  state->charged.push_back(release_key);
+  return util::Status();
+}
+
+double TenantLedger::Spent(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? 0.0 : it->second.spent;
+}
+
+double TenantLedger::Budget(const std::string& tenant) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? options_.default_budget : it->second.budget;
+}
+
+std::vector<TenantLedger::TenantRow> TenantLedger::Rows() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TenantRow> rows;
+  rows.reserve(tenants_.size());
+  for (const auto& [tenant, state] : tenants_) {
+    rows.push_back({tenant, state.spent, state.budget});
+  }
+  return rows;
+}
+
+}  // namespace agmdp::server

@@ -1,5 +1,6 @@
 #include "src/util/flags.h"
 
+#include <cerrno>
 #include <cstdlib>
 #include <sstream>
 
@@ -44,6 +45,36 @@ double Flags::GetDouble(const std::string& name, double fallback) const {
   auto it = values_.find(name);
   return it == values_.end() ? fallback
                              : std::strtod(it->second.c_str(), nullptr);
+}
+
+Result<int64_t> Flags::GetCheckedInt(const std::string& name,
+                                     int64_t fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + "=" + text +
+                                   " is not an integer");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> Flags::GetCheckedDouble(const std::string& name,
+                                       double fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  const std::string& text = it->second;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument("--" + name + "=" + text +
+                                   " is not a number");
+  }
+  return value;
 }
 
 bool Flags::GetBool(const std::string& name, bool fallback) const {

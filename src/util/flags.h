@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "src/util/status.h"
+
 namespace agmdp::util {
 
 /// \brief Parsed command-line flags with typed, defaulted getters.
@@ -24,6 +26,15 @@ class Flags {
   int64_t GetInt(const std::string& name, int64_t fallback) const;
   double GetDouble(const std::string& name, double fallback) const;
   bool GetBool(const std::string& name, bool fallback) const;
+
+  /// Strict variants for request-path validation: an absent flag yields the
+  /// fallback, but a present flag whose value is not entirely a number
+  /// ("--threads=abc", "--seed=", "--samples=3x") is a typed
+  /// InvalidArgument naming the flag — GetInt would silently read it as 0.
+  Result<int64_t> GetCheckedInt(const std::string& name,
+                                int64_t fallback) const;
+  Result<double> GetCheckedDouble(const std::string& name,
+                                  double fallback) const;
 
   /// Parses a comma-separated list of doubles, e.g. "--eps=0.1,0.2,0.5".
   std::vector<double> GetDoubleList(const std::string& name,

@@ -154,13 +154,22 @@ std::string JsonWriter::Finish() {
 
 // ----------------------------------------------------------------- reader
 
-/// Single-pass recursive-descent parser over the document text. Depth is
-/// bounded so a hostile artifact cannot blow the stack.
+/// Single-pass recursive-descent parser over the document text. Depth and
+/// input size are bounded so a hostile document — adversarial nesting, a
+/// multi-gigabyte body — fails with a typed error instead of blowing the
+/// stack or the heap.
 class JsonParser {
  public:
-  explicit JsonParser(const std::string& text) : text_(text) {}
+  JsonParser(const std::string& text, const JsonLimits& limits)
+      : text_(text), limits_(limits) {}
 
   Result<JsonValue> Parse() {
+    if (limits_.max_bytes > 0 && text_.size() > limits_.max_bytes) {
+      return Status::InvalidArgument(
+          "json: document of " + std::to_string(text_.size()) +
+          " bytes exceeds the " + std::to_string(limits_.max_bytes) +
+          "-byte limit");
+    }
     JsonValue value;
     if (Status st = ParseValue(&value, 0); !st.ok()) return st;
     SkipWhitespace();
@@ -171,8 +180,6 @@ class JsonParser {
   }
 
  private:
-  static constexpr int kMaxDepth = 64;
-
   Status Error(const std::string& what) const {
     return Status::InvalidArgument("json: " + what + " at byte " +
                                    std::to_string(pos_));
@@ -202,7 +209,10 @@ class JsonParser {
   }
 
   Status ParseValue(JsonValue* out, int depth) {
-    if (depth > kMaxDepth) return Error("nesting too deep");
+    if (depth > limits_.max_depth) {
+      return Error("nesting deeper than the " +
+                   std::to_string(limits_.max_depth) + "-level limit");
+    }
     SkipWhitespace();
     if (pos_ >= text_.size()) return Error("unexpected end of document");
     const char c = text_[pos_];
@@ -282,6 +292,29 @@ class JsonParser {
       if (static_cast<unsigned char>(c) < 0x20) {
         return Error("unescaped control character in string");
       }
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        // Validate the multi-byte UTF-8 sequence in place: a truncated or
+        // malformed sequence from the wire must be a typed error, not a
+        // byte soup passed downstream.
+        const auto lead = static_cast<unsigned char>(c);
+        int continuation;
+        if ((lead & 0xe0) == 0xc0 && lead >= 0xc2) continuation = 1;
+        else if ((lead & 0xf0) == 0xe0) continuation = 2;
+        else if ((lead & 0xf8) == 0xf0 && lead <= 0xf4) continuation = 3;
+        else return Error("malformed UTF-8 lead byte in string");
+        if (pos_ + static_cast<size_t>(continuation) > text_.size()) {
+          return Error("truncated UTF-8 sequence in string");
+        }
+        *out += c;
+        for (int i = 0; i < continuation; ++i) {
+          const auto b = static_cast<unsigned char>(text_[pos_]);
+          if ((b & 0xc0) != 0x80) {
+            return Error("truncated UTF-8 sequence in string");
+          }
+          *out += text_[pos_++];
+        }
+        continue;
+      }
       if (c != '\\') {
         *out += c;
         continue;
@@ -356,11 +389,17 @@ class JsonParser {
   }
 
   const std::string& text_;
+  const JsonLimits limits_;
   size_t pos_ = 0;
 };
 
 Result<JsonValue> JsonValue::Parse(const std::string& text) {
-  return JsonParser(text).Parse();
+  return JsonParser(text, JsonLimits{}).Parse();
+}
+
+Result<JsonValue> JsonValue::Parse(const std::string& text,
+                                   const JsonLimits& limits) {
+  return JsonParser(text, limits).Parse();
 }
 
 const JsonValue* JsonValue::Find(const std::string& key) const {

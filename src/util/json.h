@@ -76,6 +76,21 @@ class JsonWriter {
   int indent_ = 0;
 };
 
+/// \brief Resource caps applied while parsing untrusted JSON.
+///
+/// The reader is recursive-descent, so nesting consumes C++ stack — the
+/// depth cap turns adversarial nesting into a typed InvalidArgument instead
+/// of a stack overflow, and the byte cap rejects oversized documents before
+/// any parsing work. The defaults suit trusted local artifacts; anything
+/// that arrives over a socket must pass tighter limits (the server protocol
+/// uses kMaxRequestBytes / kMaxRequestDepth from src/server/protocol.h).
+struct JsonLimits {
+  /// Maximum document size in bytes; 0 = unlimited.
+  size_t max_bytes = 0;
+  /// Maximum container nesting depth (a flat scalar is depth 0).
+  int max_depth = 64;
+};
+
 /// \brief A parsed JSON document node.
 ///
 /// Objects keep their members in document order (duplicate keys are
@@ -86,8 +101,13 @@ class JsonValue {
   enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
 
   /// Parses a complete JSON document (one top-level value, nothing but
-  /// whitespace after it). Errors carry a byte offset.
+  /// whitespace after it). Errors carry a byte offset. Every limit
+  /// violation — depth, size, malformed or truncated UTF-8 — is a typed
+  /// InvalidArgument, never a crash: this is the boundary where network
+  /// input becomes data.
   static Result<JsonValue> Parse(const std::string& text);
+  static Result<JsonValue> Parse(const std::string& text,
+                                 const JsonLimits& limits);
 
   Kind kind() const { return kind_; }
   bool is_object() const { return kind_ == Kind::kObject; }

@@ -23,8 +23,26 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
+}
+
+StatusCode StatusCodeFromString(const std::string& name) {
+  static constexpr StatusCode kAll[] = {
+      StatusCode::kOk,           StatusCode::kInvalidArgument,
+      StatusCode::kNotFound,     StatusCode::kOutOfRange,
+      StatusCode::kFailedPrecondition, StatusCode::kInternal,
+      StatusCode::kIoError,      StatusCode::kUnimplemented,
+      StatusCode::kResourceExhausted,  StatusCode::kUnavailable,
+  };
+  for (StatusCode code : kAll) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::ToString() const {

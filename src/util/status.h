@@ -21,10 +21,20 @@ enum class StatusCode : int {
   kInternal = 5,
   kIoError = 6,
   kUnimplemented = 7,
+  /// A budget would be exceeded (cache byte budget, tenant epsilon cap,
+  /// admission queue) — the buffer-pool idiom's typed rejection. Retryable
+  /// for transient resources (queue slots), permanent for spent budgets.
+  kResourceExhausted = 8,
+  /// The service cannot take the request right now (shutting down).
+  kUnavailable = 9,
 };
 
 /// Returns a stable human-readable name for a status code.
 const char* StatusCodeToString(StatusCode code);
+
+/// Inverse of StatusCodeToString — the wire protocol (src/server) carries
+/// codes by name. Unrecognized names map to kInternal.
+StatusCode StatusCodeFromString(const std::string& name);
 
 /// \brief A success-or-error value describing the outcome of an operation.
 ///
@@ -56,6 +66,18 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Rebuilds a status from (code, message) — the deserialization side of
+  /// the wire protocol. An OK code yields an OK status (message dropped).
+  static Status FromCodeMessage(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

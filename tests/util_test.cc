@@ -340,5 +340,121 @@ TEST(JsonValueTest, ExactNumbersRoundTripBitwise) {
   }
 }
 
+// ---------------------------------------------------- JsonValue hardening --
+//
+// The limits overload is the server's request parser: everything arriving
+// on the socket goes through it, so every violation must be a typed
+// InvalidArgument — never a crash, never an accepted document.
+
+TEST(JsonHardeningTest, DepthCapIsConfigurable) {
+  JsonLimits limits;
+  limits.max_depth = 4;
+  std::string nested = "[[[[1]]]]";  // depth 4: allowed
+  EXPECT_TRUE(JsonValue::Parse(nested, limits).ok());
+  std::string deeper = "[[[[[1]]]]]";  // depth 5: rejected
+  auto result = JsonValue::Parse(deeper, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("nesting"), std::string::npos);
+}
+
+TEST(JsonHardeningTest, AdversarialDeepNestingIsTypedNotFatal) {
+  JsonLimits limits;
+  limits.max_depth = 8;
+  std::string bomb;
+  for (int i = 0; i < 100000; ++i) bomb += "[";
+  auto result = JsonValue::Parse(bomb, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonHardeningTest, ByteCapRejectsHugeInput) {
+  JsonLimits limits;
+  limits.max_bytes = 64;
+  EXPECT_TRUE(JsonValue::Parse("{\"k\": 1}", limits).ok());
+  std::string huge = "\"" + std::string(200, 'x') + "\"";
+  auto result = JsonValue::Parse(huge, limits);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("64"), std::string::npos);
+  // 0 = unlimited (the default): the same document parses.
+  EXPECT_TRUE(JsonValue::Parse(huge).ok());
+}
+
+TEST(JsonHardeningTest, TruncatedAndMalformedUtf8IsRejected) {
+  // Truncated multi-byte sequences (lead byte, then EOF or a non-
+  // continuation byte).
+  EXPECT_FALSE(JsonValue::Parse("\"\xc3\"").ok());          // 2-byte, cut
+  EXPECT_FALSE(JsonValue::Parse("\"\xe2\x82\"").ok());      // 3-byte, cut
+  EXPECT_FALSE(JsonValue::Parse("\"\xf0\x9f\x98\"").ok());  // 4-byte, cut
+  EXPECT_FALSE(JsonValue::Parse("\"\xc3(\"").ok());   // bad continuation
+  // Illegal lead bytes: bare continuation, overlong prefix, > U+10FFFF.
+  EXPECT_FALSE(JsonValue::Parse("\"\x80\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\xc0\xaf\"").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"\xf5\x80\x80\x80\"").ok());
+  // All rejections are typed.
+  auto result = JsonValue::Parse("\"\xc3\"");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+
+  // Well-formed UTF-8 passes through byte-exact.
+  auto ok = JsonValue::Parse("\"caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80\"");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok.value().string_value(),
+            "caf\xc3\xa9 \xe2\x82\xac \xf0\x9f\x98\x80");
+}
+
+// ---------------------------------------------------------- Checked flags --
+
+TEST(FlagsTest, CheckedGettersAcceptWellFormedValues) {
+  const char* argv[] = {"prog", "--threads=8", "--epsilon=0.69"};
+  Flags flags = Flags::Parse(3, const_cast<char**>(argv));
+  auto threads = flags.GetCheckedInt("threads", 1);
+  ASSERT_TRUE(threads.ok());
+  EXPECT_EQ(threads.value(), 8);
+  auto epsilon = flags.GetCheckedDouble("epsilon", 0.0);
+  ASSERT_TRUE(epsilon.ok());
+  EXPECT_DOUBLE_EQ(epsilon.value(), 0.69);
+  // Absent flags fall back, exactly like the unchecked getters.
+  EXPECT_EQ(flags.GetCheckedInt("absent", 42).value(), 42);
+  EXPECT_DOUBLE_EQ(flags.GetCheckedDouble("absent", 2.5).value(), 2.5);
+}
+
+TEST(FlagsTest, CheckedGettersRejectMalformedValues) {
+  const char* argv[] = {"prog", "--threads=abc", "--epsilon=0.5x",
+                        "--samples="};
+  Flags flags = Flags::Parse(4, const_cast<char**>(argv));
+  auto threads = flags.GetCheckedInt("threads", 1);
+  ASSERT_FALSE(threads.ok());
+  EXPECT_EQ(threads.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(threads.status().message().find("--threads"), std::string::npos);
+  auto epsilon = flags.GetCheckedDouble("epsilon", 0.0);
+  ASSERT_FALSE(epsilon.ok());
+  EXPECT_EQ(epsilon.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(flags.GetCheckedInt("samples", 1).ok());
+}
+
+// ------------------------------------------------------ New status codes --
+
+TEST(StatusTest, ResourceExhaustedAndUnavailableRoundTrip) {
+  const Status exhausted = Status::ResourceExhausted("over budget");
+  EXPECT_EQ(exhausted.code(), StatusCode::kResourceExhausted);
+  const Status unavailable = Status::Unavailable("shutting down");
+  EXPECT_EQ(unavailable.code(), StatusCode::kUnavailable);
+
+  // Name round trip — the wire protocol ships codes by name.
+  for (const Status& status : {exhausted, unavailable,
+                               Status::InvalidArgument("x"),
+                               Status::NotFound("y")}) {
+    const StatusCode code =
+        StatusCodeFromString(StatusCodeToString(status.code()));
+    EXPECT_EQ(code, status.code());
+    const Status rebuilt =
+        Status::FromCodeMessage(code, std::string(status.message()));
+    EXPECT_EQ(rebuilt, status);
+  }
+  EXPECT_EQ(StatusCodeFromString("NoSuchCode"), StatusCode::kInternal);
+}
+
 }  // namespace
 }  // namespace agmdp::util

@@ -46,6 +46,22 @@
 //              every utility metric as BENCH_sweep.json. With a fixed seed
 //              the JSON is byte-identical across runs (timing fields aside;
 //              --no-timing omits them entirely).
+//   serve      [--port=0] [--host=127.0.0.1] [--workers=2]
+//              [--engine-threads=1] [--queue=64] [--cache-mb=256]
+//              [--tenant-budget=EPS] [--budgets=alice:1.5,bob:0.7]
+//              [--no-batching] [--port-file=FILE]
+//              Run the multi-tenant sampling daemon (src/server): engines
+//              behind a byte-budgeted LRU cache, per-tenant epsilon
+//              ledger, bounded admission queue, batched SampleMany
+//              serving. --port=0 picks an ephemeral port; --port-file
+//              writes the bound port for scripts. Blocks until a client
+//              sends the shutdown op.
+//   client     --port=P --op=load|sample|pin|unpin|unload|stats|shutdown
+//              [--host=127.0.0.1] [--tenant=T] [--name=M] [--artifact=F]
+//              [--samples=N] [--seed=1] [--sequence=0] [--refine_iters=-1]
+//              [--out=PREFIX]
+//              One request against a running daemon; prints the response
+//              and exits 0 on success, 1 when the server answers an error.
 //   export     --in=PREFIX --out=FILE.graphml
 //              GraphML export for external tools.
 //   help       List every subcommand with a one-line example.
@@ -54,10 +70,16 @@
 // the sampler worker count (0 = hardware concurrency) — output is
 // identical for a given seed at any thread count. An unknown subcommand
 // exits non-zero with the closest-matching suggestion.
+//
+// Exit codes: 0 success, 1 runtime failure (a fit/sample/serve step
+// returned an error), 2 usage error (unknown subcommand, malformed or
+// out-of-range flag value, unreadable input named on the command line).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "src/agm/params_io.h"
@@ -69,6 +91,8 @@
 #include "src/graph/paths.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
 #include "src/stats/joint_degree.h"
 #include "src/stats/summary.h"
 #include "src/util/flags.h"
@@ -82,6 +106,14 @@ using namespace agmdp;
 int Fail(const util::Status& status) {
   std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
   return 1;
+}
+
+/// Usage errors — malformed flags, unreadable inputs named on the command
+/// line — exit 2 (like unknown subcommands), so scripts can tell "you
+/// called me wrong" from "the pipeline failed".
+int FailUsage(const util::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 2;
 }
 
 /// (name, one-line example, summary) for help and suggestions.
@@ -115,6 +147,13 @@ const std::vector<SubcommandDoc>& Subcommands() {
        "agmdp sweep --datasets=lastfm --models=fcl,tricycle --eps=0.3,0.69 "
        "--repeats=3 [--reuse-fit]",
        "dataset x model x epsilon utility grid -> BENCH_sweep.json"},
+      {"serve",
+       "agmdp serve --port=7411 --cache-mb=256 --tenant-budget=2.0",
+       "multi-tenant sampling daemon (engine cache + epsilon ledger)"},
+      {"client",
+       "agmdp client --port=7411 --op=sample --name=m --samples=4 "
+       "--out=syn",
+       "one request against a running daemon"},
       {"export", "agmdp export --in=data --out=graph.graphml",
        "GraphML export for external tools"},
       {"help", "agmdp help", "this overview"},
@@ -176,14 +215,30 @@ int Usage() {
   return 2;
 }
 
-pipeline::PipelineConfig ConfigFromFlags(const util::Flags& flags) {
+util::Result<pipeline::PipelineConfig> ConfigFromFlags(
+    const util::Flags& flags) {
   pipeline::PipelineConfig config;
-  config.epsilon = flags.GetDouble("epsilon", std::log(2.0));
+  // Checked getters: a present-but-malformed value ("--threads=abc") is a
+  // typed InvalidArgument naming the flag, never silently 0.
+  auto epsilon = flags.GetCheckedDouble("epsilon", std::log(2.0));
+  if (!epsilon.ok()) return epsilon.status();
+  config.epsilon = epsilon.value();
   config.model = flags.GetString("model", "tricycle");
-  config.sample.threads = static_cast<int>(flags.GetInt("threads", 1));
-  config.sample.acceptance_iterations =
-      static_cast<int>(flags.GetInt("accept_iters", 3));
-  config.truncation_k = static_cast<uint32_t>(flags.GetInt("truncation_k", 0));
+  auto threads = flags.GetCheckedInt("threads", 1);
+  if (!threads.ok()) return threads.status();
+  if (threads.value() < 0) {
+    return util::Status::InvalidArgument("--threads must be >= 0");
+  }
+  config.sample.threads = static_cast<int>(threads.value());
+  auto accept_iters = flags.GetCheckedInt("accept_iters", 3);
+  if (!accept_iters.ok()) return accept_iters.status();
+  config.sample.acceptance_iterations = static_cast<int>(accept_iters.value());
+  auto truncation_k = flags.GetCheckedInt("truncation_k", 0);
+  if (!truncation_k.ok()) return truncation_k.status();
+  if (truncation_k.value() < 0) {
+    return util::Status::InvalidArgument("--truncation_k must be >= 0");
+  }
+  config.truncation_k = static_cast<uint32_t>(truncation_k.value());
   return config;
 }
 
@@ -231,10 +286,14 @@ int CmdGenerate(const util::Flags& flags) {
 }
 
 int CmdFit(const util::Flags& flags) {
+  auto parsed = ConfigFromFlags(flags);
+  if (!parsed.ok()) return FailUsage(parsed.status());
+  const pipeline::PipelineConfig config = parsed.value();
   auto input = LoadInput(flags, "in");
-  if (!input.ok()) return Fail(input.status());
-  const pipeline::PipelineConfig config = ConfigFromFlags(flags);
-  util::Rng rng(flags.GetInt("seed", 1));
+  if (!input.ok()) return FailUsage(input.status());
+  auto seed = flags.GetCheckedInt("seed", 1);
+  if (!seed.ok()) return FailUsage(seed.status());
+  util::Rng rng(static_cast<uint64_t>(seed.value()));
 
   auto artifact = pipeline::FitReleaseArtifact(input.value(), config, rng);
   if (!artifact.ok()) return Fail(artifact.status());
@@ -274,24 +333,32 @@ int CmdFit(const util::Flags& flags) {
 }
 
 int CmdSample(const util::Flags& flags) {
-  const pipeline::PipelineConfig config = ConfigFromFlags(flags);
-  const int samples = static_cast<int>(flags.GetInt("samples", 1));
-  if (samples < 1) {
-    return Fail(util::Status::InvalidArgument("--samples must be >= 1"));
+  auto parsed = ConfigFromFlags(flags);
+  if (!parsed.ok()) return FailUsage(parsed.status());
+  const pipeline::PipelineConfig config = parsed.value();
+  auto samples_flag = flags.GetCheckedInt("samples", 1);
+  if (!samples_flag.ok()) return FailUsage(samples_flag.status());
+  if (samples_flag.value() < 1) {
+    return FailUsage(util::Status::InvalidArgument(
+        "--samples=" + std::to_string(samples_flag.value()) +
+        " must be >= 1"));
   }
+  const int samples = static_cast<int>(samples_flag.value());
 
   pipeline::ReleaseArtifact artifact;
   if (flags.Has("params")) {
     // Legacy path: raw params + the model named on the command line.
     auto params = agm::ReadAgmParams(flags.GetString("params", "agm.params"));
-    if (!params.ok()) return Fail(params.status());
+    if (!params.ok()) return FailUsage(params.status());
     artifact = pipeline::MakeReleaseArtifact(params.value(), config);
   } else {
     // Default matches fit's --artifact-out, so the flagless
     // `agmdp fit` -> `agmdp sample` round trip works out of the box.
+    // A nonexistent or unparseable artifact is a usage error: the caller
+    // named the wrong file, the pipeline never ran.
     auto loaded = pipeline::ReadReleaseArtifact(
         flags.GetString("artifact", "release.artifact.json"));
-    if (!loaded.ok()) return Fail(loaded.status());
+    if (!loaded.ok()) return FailUsage(loaded.status());
     artifact = std::move(loaded).value();
     if (flags.Has("model")) artifact.model = config.model;
   }
@@ -299,18 +366,25 @@ int CmdSample(const util::Flags& flags) {
     artifact.acceptance_iterations = config.sample.acceptance_iterations;
   }
 
+  auto serve_threads =
+      flags.GetCheckedInt("serve-threads", config.sample.threads);
+  if (!serve_threads.ok()) return FailUsage(serve_threads.status());
+  auto refine_iters = flags.GetCheckedInt("refine_iters", 0);
+  if (!refine_iters.ok()) return FailUsage(refine_iters.status());
   pipeline::EngineOptions options;
-  options.threads =
-      static_cast<int>(flags.GetInt("serve-threads", config.sample.threads));
+  options.threads = static_cast<int>(serve_threads.value());
   options.calibrate = !flags.GetBool("cold", false);
   options.default_refine_iterations = static_cast<int>(
-      flags.GetInt("refine_iters", flags.GetInt("refine-iters", 0)));
+      flags.Has("refine_iters") ? refine_iters.value()
+                                : flags.GetInt("refine-iters", 0));
   options.sample = config.sample;
   auto engine = pipeline::ReleaseEngine::Create(std::move(artifact), options);
   if (!engine.ok()) return Fail(engine.status());
 
+  auto seed = flags.GetCheckedInt("seed", 1);
+  if (!seed.ok()) return FailUsage(seed.status());
   pipeline::SampleRequest base;
-  base.seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  base.seed = static_cast<uint64_t>(seed.value());
   util::Result<std::vector<graph::AttributedGraph>> graphs =
       std::vector<graph::AttributedGraph>{};
   if (samples == 1) {
@@ -346,10 +420,14 @@ int CmdSample(const util::Flags& flags) {
 }
 
 int CmdSynthesize(const util::Flags& flags) {
+  auto parsed = ConfigFromFlags(flags);
+  if (!parsed.ok()) return FailUsage(parsed.status());
+  const pipeline::PipelineConfig config = parsed.value();
   auto input = LoadInput(flags, "in");
-  if (!input.ok()) return Fail(input.status());
-  const pipeline::PipelineConfig config = ConfigFromFlags(flags);
-  util::Rng rng(flags.GetInt("seed", 1));
+  if (!input.ok()) return FailUsage(input.status());
+  auto seed = flags.GetCheckedInt("seed", 1);
+  if (!seed.ok()) return FailUsage(seed.status());
+  util::Rng rng(static_cast<uint64_t>(seed.value()));
   auto result = pipeline::RunPrivateRelease(input.value(), config, rng);
   if (!result.ok()) return Fail(result.status());
   const std::string out = flags.GetString("out", "synthetic");
@@ -499,6 +577,169 @@ int CmdSweep(const util::Flags& flags) {
   return 0;
 }
 
+/// Parses --budgets=alice:1.5,bob:0.7 into (tenant, epsilon) pairs.
+util::Result<std::vector<std::pair<std::string, double>>> ParseBudgets(
+    const util::Flags& flags) {
+  std::vector<std::pair<std::string, double>> budgets;
+  for (const std::string& entry : flags.GetStringList("budgets", {})) {
+    const size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0) {
+      return util::Status::InvalidArgument(
+          "--budgets entry '" + entry + "' is not TENANT:EPSILON");
+    }
+    const std::string text = entry.substr(colon + 1);
+    char* end = nullptr;
+    const double epsilon = std::strtod(text.c_str(), &end);
+    if (text.empty() || end == nullptr || *end != '\0' || epsilon <= 0.0) {
+      return util::Status::InvalidArgument(
+          "--budgets entry '" + entry + "' needs a positive epsilon");
+    }
+    budgets.emplace_back(entry.substr(0, colon), epsilon);
+  }
+  return budgets;
+}
+
+int CmdServe(const util::Flags& flags) {
+  server::ServerOptions options;
+  options.host = flags.GetString("host", "127.0.0.1");
+  auto port = flags.GetCheckedInt("port", 0);
+  if (!port.ok()) return FailUsage(port.status());
+  options.port = static_cast<int>(port.value());
+  auto workers = flags.GetCheckedInt("workers", 2);
+  if (!workers.ok()) return FailUsage(workers.status());
+  options.worker_threads = static_cast<int>(workers.value());
+  auto engine_threads = flags.GetCheckedInt("engine-threads", 1);
+  if (!engine_threads.ok()) return FailUsage(engine_threads.status());
+  options.engine_threads = static_cast<int>(engine_threads.value());
+  auto queue = flags.GetCheckedInt("queue", 64);
+  if (!queue.ok()) return FailUsage(queue.status());
+  if (queue.value() < 1) {
+    return FailUsage(util::Status::InvalidArgument("--queue must be >= 1"));
+  }
+  options.max_queue = static_cast<size_t>(queue.value());
+  auto cache_mb = flags.GetCheckedInt("cache-mb", 256);
+  if (!cache_mb.ok()) return FailUsage(cache_mb.status());
+  if (cache_mb.value() < 0) {
+    return FailUsage(
+        util::Status::InvalidArgument("--cache-mb must be >= 0 (0 = no cap)"));
+  }
+  options.cache_bytes =
+      static_cast<uint64_t>(cache_mb.value()) * 1024 * 1024;
+  auto tenant_budget = flags.GetCheckedDouble("tenant-budget", 0.0);
+  if (!tenant_budget.ok()) return FailUsage(tenant_budget.status());
+  options.default_tenant_budget = tenant_budget.value();
+  auto budgets = ParseBudgets(flags);
+  if (!budgets.ok()) return FailUsage(budgets.status());
+  options.tenant_budgets = std::move(budgets).value();
+  options.batching = !flags.GetBool("no-batching", false);
+
+  auto started = server::Server::Start(options);
+  if (!started.ok()) return Fail(started.status());
+  server::Server& daemon = *started.value();
+  std::printf("agmdp serve: listening on %s:%d (%d workers, queue %zu, "
+              "cache %llu MiB)\n",
+              options.host.c_str(), daemon.port(), options.worker_threads,
+              options.max_queue,
+              static_cast<unsigned long long>(options.cache_bytes >> 20));
+  std::fflush(stdout);
+  if (flags.Has("port-file")) {
+    const std::string path = flags.GetString("port-file", "");
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      return Fail(util::Status::IoError("cannot write --port-file=" + path));
+    }
+    std::fprintf(f, "%d\n", daemon.port());
+    std::fclose(f);
+  }
+  daemon.Wait();
+  const server::ServerStats stats = daemon.Stats();
+  const server::EngineCacheStats cache = daemon.CacheStats();
+  std::printf("agmdp serve: shut down after %llu requests "
+              "(%llu graphs, %llu batches, %llu queue rejections; cache "
+              "%llu hits / %llu misses / %llu evictions)\n",
+              static_cast<unsigned long long>(stats.requests),
+              static_cast<unsigned long long>(stats.graphs_served),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.rejected_queue_full),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions));
+  return 0;
+}
+
+int CmdClient(const util::Flags& flags) {
+  auto port = flags.GetCheckedInt("port", 0);
+  if (!port.ok()) return FailUsage(port.status());
+  if (port.value() <= 0) {
+    return FailUsage(
+        util::Status::InvalidArgument("client needs --port=PORT (> 0)"));
+  }
+  const std::string op_name = flags.GetString("op", "");
+  server::Request request;
+  if (op_name == "load") {
+    request.op = server::RequestOp::kLoad;
+  } else if (op_name == "sample") {
+    request.op = server::RequestOp::kSample;
+  } else if (op_name == "pin") {
+    request.op = server::RequestOp::kPin;
+  } else if (op_name == "unpin") {
+    request.op = server::RequestOp::kUnpin;
+  } else if (op_name == "unload") {
+    request.op = server::RequestOp::kUnload;
+  } else if (op_name == "stats") {
+    request.op = server::RequestOp::kStats;
+  } else if (op_name == "shutdown") {
+    request.op = server::RequestOp::kShutdown;
+  } else {
+    return FailUsage(util::Status::InvalidArgument(
+        "--op='" + op_name +
+        "' is not one of load|sample|pin|unpin|unload|stats|shutdown"));
+  }
+  request.id = 1;
+  request.tenant = flags.GetString("tenant", "cli");
+  request.name = flags.GetString("name", "default");
+  request.artifact =
+      flags.GetString("artifact", "release.artifact.json");
+  auto seed = flags.GetCheckedInt("seed", 1);
+  if (!seed.ok()) return FailUsage(seed.status());
+  request.seed = static_cast<uint64_t>(seed.value());
+  auto sequence = flags.GetCheckedInt("sequence", 0);
+  if (!sequence.ok()) return FailUsage(sequence.status());
+  request.sequence = static_cast<uint64_t>(sequence.value());
+  auto samples = flags.GetCheckedInt("samples", 1);
+  if (!samples.ok()) return FailUsage(samples.status());
+  if (samples.value() < 1) {
+    return FailUsage(util::Status::InvalidArgument(
+        "--samples=" + std::to_string(samples.value()) + " must be >= 1"));
+  }
+  request.count = static_cast<int>(samples.value());
+  auto refine = flags.GetCheckedInt("refine_iters", -1);
+  if (!refine.ok()) return FailUsage(refine.status());
+  request.refine_iterations = static_cast<int>(refine.value());
+  request.out = flags.GetString("out", "");
+
+  auto client = server::Client::Connect(flags.GetString("host", "127.0.0.1"),
+                                        static_cast<int>(port.value()));
+  if (!client.ok()) return Fail(client.status());
+  auto response = client.value().Call(request);
+  if (!response.ok()) return Fail(response.status());
+  if (!response.value().status.ok()) return Fail(response.value().status);
+  for (const server::GraphSummary& g : response.value().graphs) {
+    std::printf("graph nodes=%u edges=%llu checksum=%llu%s%s\n", g.nodes,
+                static_cast<unsigned long long>(g.edges),
+                static_cast<unsigned long long>(g.checksum),
+                g.path.empty() ? "" : " path=", g.path.c_str());
+  }
+  for (const auto& [key, value] : response.value().stats) {
+    std::printf("%-24s %.6g\n", key.c_str(), value);
+  }
+  if (request.op == server::RequestOp::kShutdown ||
+      (response.value().graphs.empty() && response.value().stats.empty())) {
+    std::printf("ok\n");
+  }
+  return 0;
+}
+
 int CmdExport(const util::Flags& flags) {
   auto input = LoadInput(flags, "in");
   if (!input.ok()) return Fail(input.status());
@@ -527,6 +768,8 @@ int main(int argc, char** argv) {
   if (command == "stats") return CmdStats(flags);
   if (command == "evaluate") return CmdEvaluate(flags);
   if (command == "sweep") return CmdSweep(flags);
+  if (command == "serve") return CmdServe(flags);
+  if (command == "client") return CmdClient(flags);
   if (command == "export") return CmdExport(flags);
   return UnknownCommand(command);
 }

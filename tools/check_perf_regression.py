@@ -27,6 +27,9 @@ REQUIRED_TRUE_FLAGS = [
     "csr_deterministic_1_2_4",
     "serving_deterministic_1_2_4",
     "fused_deterministic",
+    # The daemon path (PR 7): every checksum served over TCP under 4
+    # concurrent clients must match the sequential in-process oracle.
+    "server_deterministic",
 ]
 REQUIRED_KEYS = [
     "hardware_concurrency",
@@ -34,6 +37,9 @@ REQUIRED_KEYS = [
     "sampler_hotpath_seconds",
     "serving_seconds",
     "fused_eval_seconds",
+    # `agmdp serve` under concurrent TCP load: wall clock, p50/p99 latency.
+    "server_seconds",
+    "server_samples_per_sec",
 ]
 
 # The headline properties, gated machine-independently: each ratio compares
