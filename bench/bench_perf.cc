@@ -52,6 +52,9 @@
 #include "src/graph/clustering.h"
 #include "src/graph/csr.h"
 #include "src/graph/degree.h"
+#include "src/graph/graph_container.h"
+#include "src/graph/graph_io.h"
+#include "src/graph/graph_source.h"
 #include "src/graph/triangle_count.h"
 #include "src/models/chung_lu.h"
 #include "src/models/edge_filter.h"
@@ -794,6 +797,76 @@ int main(int argc, char** argv) {
     daemon.value()->Stop();
     daemon.value()->Wait();
     std::remove(artifact_path.c_str());
+  }
+
+  // ------------------------------------------------------------- storage
+  // Text loader vs the paged binary container (graph/graph_container.h):
+  // convert throughput, verified/unverified mmap open latency, and the
+  // headline text->binary load ratio. The mmap snapshot must evaluate
+  // bitwise-identically to the in-RAM snapshot at every thread count.
+  {
+    const std::string text_prefix = out_path + ".storage_tmp";
+    const std::string bin_path = text_prefix + ".agmbin";
+    AGMDP_CHECK_MSG(graph::WriteAttributedGraph(input, text_prefix).ok(),
+                    "cannot write storage bench text pair");
+
+    json.Key("storage_seconds").BeginObject();
+    auto entry = [&](const std::string& name, double seconds) {
+      json.Key(name).Value(seconds);
+      std::printf("storage %-20s %10.3f ms\n", name.c_str(), 1e3 * seconds);
+    };
+    const double text_load = TimeBest(trials, [&] {
+      auto g = graph::ReadAttributedGraph(text_prefix);
+      AGMDP_CHECK_MSG(g.ok(), "storage bench text load failed");
+    });
+    entry("text_load", text_load);
+    entry("convert_text_to_binary", TimeBest(trials, [&] {
+            auto info = graph::ConvertTextToBinary(text_prefix, bin_path);
+            AGMDP_CHECK_MSG(info.ok(), "storage bench convert failed");
+          }));
+    const double binary_open = TimeBest(trials, [&] {
+      auto snapshot = graph::OpenBinarySnapshot(bin_path);
+      AGMDP_CHECK_MSG(snapshot.ok(), "storage bench verified open failed");
+    });
+    entry("binary_open_verified", binary_open);
+    graph::OpenOptions unverified;
+    unverified.verify_checksums = false;
+    unverified.validate = false;
+    entry("binary_open_unverified", TimeBest(trials, [&] {
+            auto snapshot = graph::OpenBinarySnapshot(bin_path, unverified);
+            AGMDP_CHECK_MSG(snapshot.ok(),
+                            "storage bench unverified open failed");
+          }));
+    json.EndObject();
+
+    const double binary_load_speedup =
+        binary_open > 0.0 ? text_load / binary_open : 0.0;
+    json.Key("binary_load_speedup").Value(binary_load_speedup);
+
+    auto mapped = graph::OpenBinarySnapshot(bin_path);
+    AGMDP_CHECK_MSG(mapped.ok(), "storage bench reopen failed");
+    const graph::AttributedCsrGraph ram_snapshot =
+        graph::AttributedCsrGraph::FromGraph(input);
+    bool storage_deterministic = true;
+    for (int eval_threads : {1, 2, 4}) {
+      const eval::UtilityReport ram_report = eval::EvaluateRelease(
+          eval::ProfileReference(ram_snapshot, eval_threads), ram_snapshot,
+          eval_threads);
+      const eval::UtilityReport mmap_report = eval::EvaluateRelease(
+          eval::ProfileReference(mapped.value(), eval_threads), mapped.value(),
+          eval_threads);
+      storage_deterministic = storage_deterministic &&
+                              ram_report.Flatten() == mmap_report.Flatten();
+    }
+    json.Key("storage_deterministic").Value(storage_deterministic);
+    std::printf("binary load speedup           %10.2fx (deterministic: %s)\n",
+                binary_load_speedup, storage_deterministic ? "yes" : "NO");
+    AGMDP_CHECK_MSG(storage_deterministic,
+                    "mmap-backed evaluation differs from the in-RAM snapshot");
+
+    std::remove((text_prefix + ".edges").c_str());
+    std::remove((text_prefix + ".attrs").c_str());
+    std::remove(bin_path.c_str());
   }
 
   json.EndObject();

@@ -23,7 +23,7 @@
 #include <string>
 
 #include "src/datasets/datasets.h"
-#include "src/graph/graph_io.h"
+#include "src/graph/graph_source.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/stats/summary.h"
@@ -118,13 +118,16 @@ int main(int argc, char** argv) {
 
   for (int i = 0; i < releases; ++i) {
     const graph::AttributedGraph& g = graphs.value()[static_cast<size_t>(i)];
-    const std::string prefix = out + "_" + std::to_string(i);
-    if (auto st = graph::WriteAttributedGraph(g, prefix); !st.ok()) {
+    // WriteGraph routes on the extension: pass --out=release.agmbin to
+    // get checksummed binary containers instead of text pairs.
+    const std::string prefix =
+        graph::NumberedGraphPath(out, static_cast<uint64_t>(i));
+    if (auto st = graph::WriteGraph(g, prefix); !st.ok()) {
       std::fprintf(stderr, "write: %s\n", st.ToString().c_str());
       return 1;
     }
     stats::UtilityErrors e = stats::CompareGraphs(input.value(), g);
-    std::printf("release %d -> %s.{edges,attrs}\n", i, prefix.c_str());
+    std::printf("release %d -> %s\n", i, prefix.c_str());
     std::printf("%s\n",
                 stats::FormatSummary("  synthetic",
                                      stats::Summarize(g.structure()))

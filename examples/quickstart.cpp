@@ -18,8 +18,9 @@ int main(int argc, char** argv) {
   util::Rng rng(flags.GetInt("seed", 42));
 
   // 1. A sensitive input graph. Here: the Last.fm stand-in — in a real
-  //    deployment this is your private attributed graph, e.g. loaded with
-  //    graph::ReadAttributedGraph(prefix).
+  //    deployment this is your private attributed graph, e.g. opened with
+  //    graph::GraphSource::Open(path) (text prefix or .agmbin container)
+  //    and materialized via .Materialize().
   auto input = datasets::GenerateDataset(datasets::DatasetId::kLastFm,
                                          /*scale=*/0.5, /*seed=*/7);
   if (!input.ok()) {

@@ -7,6 +7,7 @@
 
 #include "src/datasets/datasets.h"
 #include "src/graph/csr.h"
+#include "src/graph/graph_source.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/util/json.h"
@@ -251,7 +252,21 @@ util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec) {
       break;
     }
     if (!found) {
-      return util::Status::InvalidArgument("unknown dataset: " + name);
+      // Not a registry name: treat it as a path (text prefix or binary
+      // container) via the unified GraphSource front door, so sweeps can
+      // run directly against on-disk graphs.
+      auto source = graph::GraphSource::Open(name);
+      if (!source.ok()) {
+        if (source.status().code() == util::StatusCode::kNotFound) {
+          return util::Status::InvalidArgument(
+              "unknown dataset: " + name +
+              " (not a registry name, and no graph file at that path)");
+        }
+        return source.status();
+      }
+      inputs.push_back(
+          SweepInput{name, source.value().Materialize(), nullptr});
+      found = true;
     }
   }
   return RunSweep(inputs, spec);

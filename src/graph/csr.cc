@@ -1,28 +1,76 @@
 #include "src/graph/csr.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace agmdp::graph {
+
+void CsrGraph::FinishFromViews() {
+  if (!owned_offsets_.empty()) {
+    offsets_ = owned_offsets_.data();
+    neighbors_ = owned_neighbors_.data();
+  }
+  const NodeId n = num_nodes_;
+  degrees_.resize(n);
+  max_degree_ = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    const uint32_t d = static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+    degrees_[v] = d;
+    max_degree_ = std::max(max_degree_, d);
+  }
+}
+
+CsrGraph::CsrGraph(const CsrGraph& other)
+    : owned_offsets_(other.owned_offsets_),
+      owned_neighbors_(other.owned_neighbors_),
+      external_owner_(other.external_owner_),
+      degrees_(other.degrees_),
+      num_nodes_(other.num_nodes_),
+      max_degree_(other.max_degree_),
+      num_edges_(other.num_edges_) {
+  // Owned snapshots must re-point at *this* copy's vectors; external
+  // snapshots share the mapping, so the source's pointers stay valid.
+  offsets_ = owned_offsets_.empty() ? other.offsets_ : owned_offsets_.data();
+  neighbors_ =
+      owned_neighbors_.empty() ? other.neighbors_ : owned_neighbors_.data();
+}
+
+CsrGraph& CsrGraph::operator=(const CsrGraph& other) {
+  if (this != &other) *this = CsrGraph(other);
+  return *this;
+}
 
 CsrGraph CsrGraph::FromGraph(const Graph& g) {
   const NodeId n = g.num_nodes();
   CsrGraph csr;
+  csr.num_nodes_ = n;
   csr.num_edges_ = g.num_edges();
-  csr.offsets_.resize(static_cast<size_t>(n) + 1, 0);
-  csr.degrees_.resize(n);
+  csr.owned_offsets_.resize(static_cast<size_t>(n) + 1, 0);
   for (NodeId v = 0; v < n; ++v) {
-    const uint32_t d = g.Degree(v);
-    csr.degrees_[v] = d;
-    csr.offsets_[v + 1] = csr.offsets_[v] + d;
-    csr.max_degree_ = std::max(csr.max_degree_, d);
+    csr.owned_offsets_[v + 1] = csr.owned_offsets_[v] + g.Degree(v);
   }
-  csr.neighbors_.resize(csr.offsets_[n]);
+  csr.owned_neighbors_.resize(csr.owned_offsets_[n]);
   for (NodeId v = 0; v < n; ++v) {
     const std::vector<NodeId>& adj = g.Neighbors(v);
-    NodeId* out = csr.neighbors_.data() + csr.offsets_[v];
+    NodeId* out = csr.owned_neighbors_.data() + csr.owned_offsets_[v];
     std::copy(adj.begin(), adj.end(), out);
     std::sort(out, out + adj.size());
   }
+  csr.FinishFromViews();
+  return csr;
+}
+
+CsrGraph CsrGraph::FromExternal(const uint64_t* offsets,
+                                const NodeId* neighbors, NodeId num_nodes,
+                                uint64_t num_edges,
+                                std::shared_ptr<const void> owner) {
+  CsrGraph csr;
+  csr.offsets_ = offsets;
+  csr.neighbors_ = neighbors;
+  csr.num_nodes_ = num_nodes;
+  csr.num_edges_ = num_edges;
+  csr.external_owner_ = std::move(owner);
+  csr.FinishFromViews();
   return csr;
 }
 
@@ -55,11 +103,38 @@ uint32_t CsrGraph::CommonNeighborCount(NodeId u, NodeId v) const {
   return count;
 }
 
+AttributedCsrGraph::AttributedCsrGraph(const AttributedCsrGraph& other)
+    : structure(other.structure),
+      num_attributes(other.num_attributes),
+      owned_attributes_(other.owned_attributes_),
+      external_owner_(other.external_owner_) {
+  attributes_ = owned_attributes_.empty() ? other.attributes_
+                                          : owned_attributes_.data();
+}
+
+AttributedCsrGraph& AttributedCsrGraph::operator=(
+    const AttributedCsrGraph& other) {
+  if (this != &other) *this = AttributedCsrGraph(other);
+  return *this;
+}
+
 AttributedCsrGraph AttributedCsrGraph::FromGraph(const AttributedGraph& g) {
   AttributedCsrGraph snapshot;
   snapshot.structure = CsrGraph::FromGraph(g.structure());
-  snapshot.attributes = g.attributes();
+  snapshot.owned_attributes_ = g.attributes();
+  snapshot.attributes_ = snapshot.owned_attributes_.data();
   snapshot.num_attributes = g.num_attributes();
+  return snapshot;
+}
+
+AttributedCsrGraph AttributedCsrGraph::FromExternal(
+    CsrGraph structure, const AttrConfig* attrs, int num_attributes,
+    std::shared_ptr<const void> owner) {
+  AttributedCsrGraph snapshot;
+  snapshot.structure = std::move(structure);
+  snapshot.attributes_ = attrs;
+  snapshot.num_attributes = num_attributes;
+  snapshot.external_owner_ = std::move(owner);
   return snapshot;
 }
 

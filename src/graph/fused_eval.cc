@@ -252,7 +252,7 @@ FusedStats FusedEvaluate(const CsrGraph& g, const FusedOptions& opts) {
 
 FusedStats FusedEvaluate(const AttributedCsrGraph& g,
                          const FusedOptions& opts) {
-  return internal::FusedEvaluateImpl(g.structure, g.attributes.data(),
+  return internal::FusedEvaluateImpl(g.structure, g.attributes_data(),
                                      g.num_attributes, opts);
 }
 

@@ -11,6 +11,7 @@
 #include <utility>
 
 #include "src/graph/graph_io.h"
+#include "src/graph/graph_source.h"
 #include "src/pipeline/release_artifact.h"
 
 namespace agmdp::server {
@@ -475,11 +476,11 @@ Response Server::FinishSample(const Request& request,
     summary.edges = graphs[i].num_edges();
     summary.checksum = GraphChecksum(graphs[i]);
     if (!request.out.empty()) {
-      summary.path =
-          request.out + "_" +
-          std::to_string(request.sequence + static_cast<uint64_t>(i));
-      if (auto st = graph::WriteAttributedGraph(graphs[i], summary.path);
-          !st.ok()) {
+      // Format routing is the client's file-name choice: an --out ending
+      // in .agmbin makes every numbered sample a binary container.
+      summary.path = graph::NumberedGraphPath(
+          request.out, request.sequence + static_cast<uint64_t>(i));
+      if (auto st = graph::WriteGraph(graphs[i], summary.path); !st.ok()) {
         return ErrorResponse(request.id, std::move(st));
       }
     }

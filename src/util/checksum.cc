@@ -1,0 +1,56 @@
+#include "src/util/checksum.h"
+
+namespace agmdp::util {
+
+namespace {
+
+// 0x82F63B78 is the reflected Castagnoli polynomial; the tables are the
+// standard slice-by-4 expansion (table[k][b] = CRC of byte b followed by k
+// zero bytes), built once at first use.
+struct Crc32cTables {
+  uint32_t t[4][256];
+
+  Crc32cTables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? 0x82F63B78u : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 4; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFFu];
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed) {
+  const Crc32cTables& tables = Tables();
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint32_t crc = ~seed;
+  while (len >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xFFu] ^ tables.t[2][(crc >> 8) & 0xFFu] ^
+          tables.t[1][(crc >> 16) & 0xFFu] ^ tables.t[0][crc >> 24];
+    p += 4;
+    len -= 4;
+  }
+  while (len-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace agmdp::util

@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli) checksums for the binary graph container.
+//
+// The container checksums every fixed-size data page plus the header and
+// the page-checksum table itself (graph/graph_container.h), so corruption
+// anywhere in a file surfaces as a typed ChecksumMismatch Status instead
+// of whatever the mmap'd garbage happens to decode to. CRC32C is the
+// storage-engine standard (RocksDB, LevelDB, ext4) — good burst-error
+// detection at a few bytes/cycle in software.
+//
+// Implementation: slice-by-4 table lookup, little-endian, no hardware
+// intrinsics (the container must verify identically on every build,
+// including the -DAGMDP_DISABLE_AVX2 scalar CI leg).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace agmdp::util {
+
+/// CRC32C of `len` bytes. Extend a running checksum by passing the
+/// previous result as `seed` (byte-stream concatenation semantics:
+/// Crc32c(ab) == Crc32c(b, len_b, Crc32c(a, len_a))).
+uint32_t Crc32c(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace agmdp::util

@@ -1,0 +1,147 @@
+#include "src/util/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace agmdp::util {
+
+namespace {
+
+Status Errno(const std::string& what, const std::string& path) {
+  return Status::IoError(what + " " + path + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(other.data_),
+      size_(other.size_),
+      writable_(other.writable_),
+      path_(std::move(other.path_)) {
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.writable_ = false;
+}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    Reset();
+    data_ = other.data_;
+    size_ = other.size_;
+    writable_ = other.writable_;
+    path_ = std::move(other.path_);
+    other.data_ = nullptr;
+    other.size_ = 0;
+    other.writable_ = false;
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() { Reset(); }
+
+void MappedFile::Reset() noexcept {
+  if (data_ != nullptr) {
+    ::munmap(data_, static_cast<size_t>(size_));
+    data_ = nullptr;
+  }
+  size_ = 0;
+  writable_ = false;
+}
+
+Result<MappedFile> MappedFile::OpenReadOnly(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Errno("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Errno("cannot stat", path);
+    ::close(fd);
+    return status;
+  }
+  MappedFile file;
+  file.path_ = path;
+  file.size_ = static_cast<uint64_t>(st.st_size);
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, static_cast<size_t>(file.size_), PROT_READ,
+                        MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = Errno("cannot mmap", path);
+      ::close(fd);
+      return status;
+    }
+    file.data_ = static_cast<uint8_t*>(addr);
+  }
+  // The mapping holds its own reference to the inode; the descriptor is
+  // no longer needed.
+  ::close(fd);
+  return file;
+}
+
+Result<MappedFile> MappedFile::CreateReadWrite(const std::string& path,
+                                               uint64_t size) {
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return Errno("cannot create", path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const Status status = Errno("cannot size", path);
+    ::close(fd);
+    return status;
+  }
+  MappedFile file;
+  file.path_ = path;
+  file.size_ = size;
+  file.writable_ = true;
+  if (size > 0) {
+    void* addr = ::mmap(nullptr, static_cast<size_t>(size),
+                        PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = Errno("cannot mmap", path);
+      ::close(fd);
+      return status;
+    }
+    file.data_ = static_cast<uint8_t*>(addr);
+  }
+  ::close(fd);
+  return file;
+}
+
+Result<MappedFile> MappedFile::OpenReadWrite(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return Errno("cannot open", path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const Status status = Errno("cannot stat", path);
+    ::close(fd);
+    return status;
+  }
+  MappedFile file;
+  file.path_ = path;
+  file.size_ = static_cast<uint64_t>(st.st_size);
+  file.writable_ = true;
+  if (file.size_ > 0) {
+    void* addr = ::mmap(nullptr, static_cast<size_t>(file.size_),
+                        PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    if (addr == MAP_FAILED) {
+      const Status status = Errno("cannot mmap", path);
+      ::close(fd);
+      return status;
+    }
+    file.data_ = static_cast<uint8_t*>(addr);
+  }
+  ::close(fd);
+  return file;
+}
+
+Status MappedFile::Sync() {
+  if (!writable_ || data_ == nullptr) return Status::OK();
+  if (::msync(data_, static_cast<size_t>(size_), MS_SYNC) != 0) {
+    return Errno("cannot msync", path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace agmdp::util

@@ -1,0 +1,63 @@
+// Memory-mapped file wrapper (POSIX mmap) for the binary graph container.
+//
+// Two modes:
+//   * OpenReadOnly    — map an existing file PROT_READ / MAP_SHARED. The
+//     mmap-backed CsrGraph points straight into this mapping; a
+//     shared_ptr<MappedFile> travels with the snapshot so the mapping
+//     outlives every view into it.
+//   * CreateReadWrite — create (truncate) a file of a fixed size and map
+//     it writable. The container writer and the streaming text→binary
+//     converter fill sections in place through this mapping, so a convert
+//     never materializes the neighbor arrays in heap RAM.
+//
+// The wrapper is move-only; the destructor unmaps and closes.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "src/util/status.h"
+
+namespace agmdp::util {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  ~MappedFile();
+
+  /// Maps an existing file read-only. A zero-length file yields a valid
+  /// object with data() == nullptr and size() == 0.
+  static Result<MappedFile> OpenReadOnly(const std::string& path);
+
+  /// Creates (or truncates) `path`, sizes it to `size` bytes and maps it
+  /// read-write. The mapping is MAP_SHARED: stores land in the file.
+  static Result<MappedFile> CreateReadWrite(const std::string& path,
+                                            uint64_t size);
+
+  /// Maps an existing file read-write at its current size (no truncate) —
+  /// used to patch checksums in place (RecomputeBinaryGraphChecksums).
+  static Result<MappedFile> OpenReadWrite(const std::string& path);
+
+  const uint8_t* data() const { return data_; }
+  /// Writable view; only valid for CreateReadWrite mappings.
+  uint8_t* mutable_data() { return writable_ ? data_ : nullptr; }
+  uint64_t size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+  /// Flushes a writable mapping to disk (msync). No-op when read-only.
+  Status Sync();
+
+ private:
+  void Reset() noexcept;
+
+  uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+  bool writable_ = false;
+  std::string path_;
+};
+
+}  // namespace agmdp::util

@@ -27,6 +27,12 @@ const char* StatusCodeToString(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kUnavailable:
       return "Unavailable";
+    case StatusCode::kCorruption:
+      return "Corruption";
+    case StatusCode::kChecksumMismatch:
+      return "ChecksumMismatch";
+    case StatusCode::kVersionMismatch:
+      return "VersionMismatch";
   }
   return "Unknown";
 }
@@ -38,6 +44,8 @@ StatusCode StatusCodeFromString(const std::string& name) {
       StatusCode::kFailedPrecondition, StatusCode::kInternal,
       StatusCode::kIoError,      StatusCode::kUnimplemented,
       StatusCode::kResourceExhausted,  StatusCode::kUnavailable,
+      StatusCode::kCorruption,   StatusCode::kChecksumMismatch,
+      StatusCode::kVersionMismatch,
   };
   for (StatusCode code : kAll) {
     if (name == StatusCodeToString(code)) return code;

@@ -27,6 +27,17 @@ enum class StatusCode : int {
   kResourceExhausted = 8,
   /// The service cannot take the request right now (shutting down).
   kUnavailable = 9,
+  /// Stored data is structurally invalid (bad magic, truncated file,
+  /// impossible section bounds, broken CSR invariants) — the storage
+  /// engine's typed corruption class (lumen/RocksDB idiom).
+  kCorruption = 10,
+  /// A page/header/table checksum did not verify: the bytes were damaged
+  /// after they were written. Distinct from kCorruption so callers can
+  /// tell bit rot from a structurally bogus file.
+  kChecksumMismatch = 11,
+  /// The file carries an incompatible format version (or byte order);
+  /// re-convert with the current tools.
+  kVersionMismatch = 12,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -72,6 +83,15 @@ class Status {
   }
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status ChecksumMismatch(std::string msg) {
+    return Status(StatusCode::kChecksumMismatch, std::move(msg));
+  }
+  static Status VersionMismatch(std::string msg) {
+    return Status(StatusCode::kVersionMismatch, std::move(msg));
   }
   /// Rebuilds a status from (code, message) — the deserialization side of
   /// the wire protocol. An OK code yields an OK status (message dropped).

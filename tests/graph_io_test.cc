@@ -92,6 +92,32 @@ TEST_F(GraphIoTest, ValidEdgeListRoundTrips) {
   EXPECT_TRUE(r.value().HasEdge(1, 2));
 }
 
+TEST_F(GraphIoTest, EveryParseErrorCarriesTheLineNumber) {
+  // Body line errors.
+  auto bad_edge = ReadEdgeList(WriteFile("ln1.edges", "n 3\n0 1\nbogus\n"));
+  ASSERT_FALSE(bad_edge.ok());
+  EXPECT_NE(bad_edge.status().message().find(":3"), std::string::npos)
+      << bad_edge.status().ToString();
+  // Header errors name their line too (comments still count lines).
+  auto bad_header = ReadEdgeList(WriteFile("ln2.edges", "# c\nm 5\n"));
+  ASSERT_FALSE(bad_header.ok());
+  EXPECT_NE(bad_header.status().message().find(":2"), std::string::npos)
+      << bad_header.status().ToString();
+  auto overflow = ReadEdgeList(WriteFile("ln3.edges", "n 99999999999\n"));
+  ASSERT_FALSE(overflow.ok());
+  EXPECT_NE(overflow.status().message().find(":1"), std::string::npos)
+      << overflow.status().ToString();
+}
+
+TEST_F(GraphIoTest, NegativeNumbersAreParseErrorsNotWrapped) {
+  // A leading '-' must be a parse failure; stream extraction used to wrap
+  // it to a huge unsigned value and report a misleading range error.
+  auto r = ReadEdgeList(WriteFile("neg.edges", "n 3\n-1 2\n"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("bad edge"), std::string::npos)
+      << r.status().ToString();
+}
+
 // ------------------------------------------------- attributed graphs --
 
 TEST_F(GraphIoTest, AttributedGraphRejectsMalformedAttributeFiles) {
@@ -137,6 +163,22 @@ TEST_F(GraphIoTest, AttributedGraphRejectsMalformedAttributeFiles) {
 
   write_attrs("n 2 w 1\nzero 0\n");  // malformed attribute line
   EXPECT_FALSE(ReadAttributedGraph(prefix).ok());
+
+  // Attribute-side errors carry path:line positions as well.
+  write_attrs("n 2 w 1\n# comment\n0 2\n");
+  {
+    auto r = ReadAttributedGraph(prefix);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find(":3"), std::string::npos)
+        << r.status().ToString();
+  }
+  write_attrs("x 2 w 1\n");
+  {
+    auto r = ReadAttributedGraph(prefix);
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find(":1"), std::string::npos)
+        << r.status().ToString();
+  }
 
   write_attrs("n 2 w 1\n0 1\n1 0\n");  // valid
   auto ok = ReadAttributedGraph(prefix);

@@ -1,0 +1,145 @@
+// GraphSource: one Open() entry point for text and binary graphs, with
+// format auto-detection, a faithful Materialize(), and extension-routed
+// writing.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "src/datasets/datasets.h"
+#include "src/graph/graph_container.h"
+#include "src/graph/graph_io.h"
+#include "src/graph/graph_source.h"
+
+namespace agmdp::graph {
+namespace {
+
+class GraphSourceTest : public ::testing::Test {
+ protected:
+  std::string TempPath(const std::string& name) {
+    const std::string path = ::testing::TempDir() + "graph_source_test_" + name;
+    paths_.push_back(path);
+    return path;
+  }
+
+  AttributedGraph TestGraph() {
+    auto g = datasets::GenerateDataset(datasets::DatasetId::kLastFm,
+                                       /*scale=*/0.05, /*seed=*/3);
+    EXPECT_TRUE(g.ok()) << g.status().ToString();
+    return std::move(g).value();
+  }
+
+  void TearDown() override {
+    for (const std::string& path : paths_) std::remove(path.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(GraphSourceTest, OpensTextPrefixAndEdgesFileAlike) {
+  const AttributedGraph g = TestGraph();
+  const std::string prefix = TempPath("text");
+  paths_.push_back(prefix + ".edges");
+  paths_.push_back(prefix + ".attrs");
+  ASSERT_TRUE(WriteGraph(g, prefix).ok());
+
+  for (const std::string& path : {prefix, prefix + ".edges"}) {
+    auto source = GraphSource::Open(path);
+    ASSERT_TRUE(source.ok()) << path << ": " << source.status().ToString();
+    EXPECT_EQ(source.value().format(), GraphSource::Format::kText);
+    EXPECT_FALSE(source.value().snapshot().structure.is_external());
+    EXPECT_EQ(source.value().snapshot().num_nodes(), g.num_nodes());
+    EXPECT_EQ(source.value().snapshot().num_edges(), g.num_edges());
+  }
+}
+
+TEST_F(GraphSourceTest, AutoDetectsBinaryByMagic) {
+  const AttributedGraph g = TestGraph();
+  const std::string path = TempPath("auto.agmbin");
+  ASSERT_TRUE(WriteGraph(g, path).ok());
+  ASSERT_TRUE(IsBinaryGraphFile(path));
+
+  auto source = GraphSource::Open(path);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(source.value().format(), GraphSource::Format::kBinary);
+  // Zero-copy: the snapshot aliases the mapping.
+  EXPECT_TRUE(source.value().snapshot().structure.is_external());
+  EXPECT_EQ(source.value().snapshot().num_edges(), g.num_edges());
+}
+
+TEST_F(GraphSourceTest, MaterializeEqualsOriginalForBothFormats) {
+  const AttributedGraph g = TestGraph();
+  const std::string prefix = TempPath("mat");
+  paths_.push_back(prefix + ".edges");
+  paths_.push_back(prefix + ".attrs");
+  const std::string bin = TempPath("mat.agmbin");
+  ASSERT_TRUE(WriteGraph(g, prefix).ok());
+  ASSERT_TRUE(WriteGraph(g, bin).ok());
+
+  for (const std::string& path : {prefix, bin}) {
+    auto source = GraphSource::Open(path);
+    ASSERT_TRUE(source.ok()) << source.status().ToString();
+    const AttributedGraph back = source.value().Materialize();
+    EXPECT_EQ(back.attributes(), g.attributes()) << path;
+    EXPECT_EQ(back.structure().CanonicalEdges(),
+              g.structure().CanonicalEdges())
+        << path;
+  }
+}
+
+TEST_F(GraphSourceTest, TextWithoutAttrsOpensAsZeroWidth) {
+  const std::string prefix = TempPath("bare");
+  paths_.push_back(prefix + ".edges");
+  {
+    std::ofstream out(prefix + ".edges");
+    out << "n 3\n0 1\n1 2\n";
+  }
+  auto source = GraphSource::Open(prefix);
+  ASSERT_TRUE(source.ok()) << source.status().ToString();
+  EXPECT_EQ(source.value().snapshot().num_attributes, 0);
+  EXPECT_EQ(source.value().snapshot().num_edges(), 2u);
+}
+
+TEST_F(GraphSourceTest, MissingPathIsNotFound) {
+  auto source = GraphSource::Open(::testing::TempDir() + "no_such_graph");
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), util::StatusCode::kNotFound);
+}
+
+TEST_F(GraphSourceTest, CorruptBinarySurfacesTypedError) {
+  const AttributedGraph g = TestGraph();
+  const std::string path = TempPath("corrupt.agmbin");
+  ASSERT_TRUE(WriteGraph(g, path).ok());
+  {
+    std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(70000);  // inside the data region (64 KiB pages)
+    f.put('\x7f');
+  }
+  auto source = GraphSource::Open(path);
+  ASSERT_FALSE(source.ok());
+  EXPECT_EQ(source.status().code(), util::StatusCode::kChecksumMismatch)
+      << source.status().ToString();
+}
+
+TEST_F(GraphSourceTest, WriteGraphRoutesOnExtension) {
+  const AttributedGraph g = TestGraph();
+  const std::string text = TempPath("route_text");
+  paths_.push_back(text + ".edges");
+  paths_.push_back(text + ".attrs");
+  const std::string bin = TempPath("route.agmbin");
+  ASSERT_TRUE(WriteGraph(g, text).ok());
+  ASSERT_TRUE(WriteGraph(g, bin).ok());
+  EXPECT_TRUE(std::ifstream(text + ".edges").good());
+  EXPECT_FALSE(IsBinaryGraphFile(text + ".edges"));
+  EXPECT_TRUE(IsBinaryGraphFile(bin));
+}
+
+TEST(NumberedGraphPathTest, InsertsIndexBeforeBinaryExtension) {
+  EXPECT_EQ(NumberedGraphPath("syn", 3), "syn_3");
+  EXPECT_EQ(NumberedGraphPath("syn.agmbin", 3), "syn_3.agmbin");
+  EXPECT_EQ(NumberedGraphPath("dir/out.agmbin", 0), "dir/out_0.agmbin");
+}
+
+}  // namespace
+}  // namespace agmdp::graph

@@ -62,9 +62,20 @@
 //              [--out=PREFIX]
 //              One request against a running daemon; prints the response
 //              and exits 0 on success, 1 when the server answers an error.
+//   convert    agmdp convert <text> <bin.agmbin>   (or --in= / --out=)
+//              Streaming text -> binary container conversion (constant
+//              heap in the edge count; see graph/graph_container.h).
+//   info       agmdp info <bin.agmbin>
+//              Print container header facts (version, page size/count,
+//              nodes/edges/attribute width) and verify every checksum;
+//              exits 1 when the file is damaged.
 //   export     --in=PREFIX --out=FILE.graphml
 //              GraphML export for external tools.
 //   help       List every subcommand with a one-line example.
+//
+// Every --in/--synthetic input goes through graph::GraphSource::Open, so
+// a text `PREFIX` and a binary `FILE.agmbin` are interchangeable
+// everywhere; --out paths ending in ".agmbin" write binary containers.
 //
 // --model accepts any registry name (see `agmdp models`); --threads sets
 // the sampler worker count (0 = hardware concurrency) — output is
@@ -78,6 +89,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <string>
 #include <utility>
 #include <vector>
@@ -87,7 +99,9 @@
 #include "src/eval/sweep_engine.h"
 #include "src/eval/utility_report.h"
 #include "src/graph/csr.h"
+#include "src/graph/graph_container.h"
 #include "src/graph/graph_io.h"
+#include "src/graph/graph_source.h"
 #include "src/graph/paths.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
@@ -154,6 +168,10 @@ const std::vector<SubcommandDoc>& Subcommands() {
        "agmdp client --port=7411 --op=sample --name=m --samples=4 "
        "--out=syn",
        "one request against a running daemon"},
+      {"convert", "agmdp convert data data.agmbin",
+       "streaming text -> checksummed binary container conversion"},
+      {"info", "agmdp info data.agmbin",
+       "container header summary + full checksum verification"},
       {"export", "agmdp export --in=data --out=graph.graphml",
        "GraphML export for external tools"},
       {"help", "agmdp help", "this overview"},
@@ -258,13 +276,24 @@ void PrintStageTimings(const std::vector<agm::StageSeconds>& stages) {
   }
 }
 
+/// All graph inputs come through GraphSource: `--in=` accepts a text
+/// PREFIX or a binary .agmbin container interchangeably.
+util::Result<graph::GraphSource> LoadSource(const util::Flags& flags,
+                                            const std::string& flag_name) {
+  const std::string path = flags.GetString(flag_name, "");
+  if (path.empty()) {
+    return util::Status::InvalidArgument("missing --" + flag_name + "=PATH");
+  }
+  return graph::GraphSource::Open(path);
+}
+
+/// Materialized variant for subcommands that need a mutable graph
+/// (fit/synthesize read adjacency lists; export walks canonical edges).
 util::Result<graph::AttributedGraph> LoadInput(const util::Flags& flags,
                                                const std::string& flag_name) {
-  const std::string prefix = flags.GetString(flag_name, "");
-  if (prefix.empty()) {
-    return util::Status::InvalidArgument("missing --" + flag_name + "=PREFIX");
-  }
-  return graph::ReadAttributedGraph(prefix);
+  auto source = LoadSource(flags, flag_name);
+  if (!source.ok()) return source.status();
+  return source.value().Materialize();
 }
 
 int CmdGenerate(const util::Flags& flags) {
@@ -274,7 +303,7 @@ int CmdGenerate(const util::Flags& flags) {
                                      flags.GetInt("seed", 7));
   if (!g.ok()) return Fail(g.status());
   const std::string out = flags.GetString("out", "dataset");
-  if (auto st = graph::WriteAttributedGraph(g.value(), out); !st.ok()) {
+  if (auto st = graph::WriteGraph(g.value(), out); !st.ok()) {
     return Fail(st);
   }
   std::printf("%s\n",
@@ -405,9 +434,10 @@ int CmdSample(const util::Flags& flags) {
   const std::string out = flags.GetString("out", "synthetic");
   for (int i = 0; i < samples; ++i) {
     const std::string prefix =
-        samples == 1 ? out : out + "_" + std::to_string(i);
+        samples == 1 ? out
+                     : graph::NumberedGraphPath(out, static_cast<uint64_t>(i));
     const graph::AttributedGraph& g = graphs.value()[static_cast<size_t>(i)];
-    if (auto st = graph::WriteAttributedGraph(g, prefix); !st.ok()) {
+    if (auto st = graph::WriteGraph(g, prefix); !st.ok()) {
       return Fail(st);
     }
     std::printf("%s\n",
@@ -431,8 +461,7 @@ int CmdSynthesize(const util::Flags& flags) {
   auto result = pipeline::RunPrivateRelease(input.value(), config, rng);
   if (!result.ok()) return Fail(result.status());
   const std::string out = flags.GetString("out", "synthetic");
-  if (auto st = graph::WriteAttributedGraph(result.value().graph, out);
-      !st.ok()) {
+  if (auto st = graph::WriteGraph(result.value().graph, out); !st.ok()) {
     return Fail(st);
   }
   std::printf("%s\n",
@@ -458,14 +487,13 @@ int CmdModels(const util::Flags&) {
 }
 
 int CmdStats(const util::Flags& flags) {
-  auto input = LoadInput(flags, "in");
+  auto input = LoadSource(flags, "in");
   if (!input.ok()) return Fail(input.status());
-  const graph::AttributedGraph& g = input.value();
   const int analytics_threads =
       static_cast<int>(flags.GetInt("analytics-threads", 1));
-  // One immutable snapshot serves the summary and the structural profile.
-  const graph::AttributedCsrGraph snapshot =
-      graph::AttributedCsrGraph::FromGraph(g);
+  // One immutable snapshot serves the summary and the structural profile
+  // (for a binary container this aliases the mapping — no copy).
+  const graph::AttributedCsrGraph& snapshot = input.value().snapshot();
   std::printf("%s\n",
               stats::FormatSummary(
                   flags.GetString("in", ""),
@@ -489,17 +517,16 @@ int CmdStats(const util::Flags& flags) {
 }
 
 int CmdEvaluate(const util::Flags& flags) {
-  auto input = LoadInput(flags, "in");
+  auto input = LoadSource(flags, "in");
   if (!input.ok()) return Fail(input.status());
-  auto synthetic = LoadInput(flags, "synthetic");
+  auto synthetic = LoadSource(flags, "synthetic");
   if (!synthetic.ok()) return Fail(synthetic.status());
   const int analytics_threads =
       static_cast<int>(flags.GetInt("analytics-threads", 1));
-  // One immutable snapshot per side, reused across every metric.
-  const graph::AttributedCsrGraph original =
-      graph::AttributedCsrGraph::FromGraph(input.value());
-  const graph::AttributedCsrGraph released =
-      graph::AttributedCsrGraph::FromGraph(synthetic.value());
+  // One immutable snapshot per side, reused across every metric (binary
+  // inputs evaluate straight off the mapping).
+  const graph::AttributedCsrGraph& original = input.value().snapshot();
+  const graph::AttributedCsrGraph& released = synthetic.value().snapshot();
   const eval::UtilityReport report =
       eval::EvaluateRelease(eval::ProfileReference(original, analytics_threads),
                             released, analytics_threads);
@@ -740,6 +767,88 @@ int CmdClient(const util::Flags& flags) {
   return 0;
 }
 
+int CmdConvert(const util::Flags& flags) {
+  // Positional form `agmdp convert <text> <bin>` and the --in/--out flag
+  // form are equivalent; mixing fills whichever side is missing.
+  std::string in = flags.GetString("in", "");
+  std::string out = flags.GetString("out", "");
+  size_t next_positional = 0;
+  if (in.empty() && next_positional < flags.positional().size()) {
+    in = flags.positional()[next_positional++];
+  }
+  if (out.empty() && next_positional < flags.positional().size()) {
+    out = flags.positional()[next_positional++];
+  }
+  if (in.empty() || out.empty()) {
+    return FailUsage(util::Status::InvalidArgument(
+        "usage: agmdp convert <text-prefix-or-edges> <out.agmbin>"));
+  }
+  graph::ConvertOptions options;
+  auto page_size = flags.GetCheckedInt("page-size", options.binary.page_size);
+  if (!page_size.ok()) return FailUsage(page_size.status());
+  if (page_size.value() < 4096 ||
+      page_size.value() > std::numeric_limits<uint32_t>::max()) {
+    return FailUsage(util::Status::InvalidArgument(
+        "--page-size out of range: " + std::to_string(page_size.value())));
+  }
+  options.binary.page_size = static_cast<uint32_t>(page_size.value());
+  auto info = graph::ConvertTextToBinary(in, out, options);
+  if (!info.ok()) {
+    // A missing input named on the command line is a usage error (exit
+    // 2); a malformed input file is a runtime failure (exit 1).
+    return info.status().code() == util::StatusCode::kNotFound
+               ? FailUsage(info.status())
+               : Fail(info.status());
+  }
+  std::printf(
+      "converted %s -> %s (nodes=%llu edges=%llu attrs=%u, %llu bytes in "
+      "%llu pages of %u)\n",
+      in.c_str(), out.c_str(),
+      static_cast<unsigned long long>(info.value().num_nodes),
+      static_cast<unsigned long long>(info.value().num_edges),
+      info.value().num_attributes,
+      static_cast<unsigned long long>(info.value().file_bytes),
+      static_cast<unsigned long long>(info.value().num_data_pages),
+      info.value().page_size);
+  return 0;
+}
+
+int CmdInfo(const util::Flags& flags) {
+  std::string path = flags.GetString("in", "");
+  if (path.empty() && !flags.positional().empty()) {
+    path = flags.positional().front();
+  }
+  if (path.empty()) {
+    return FailUsage(
+        util::Status::InvalidArgument("usage: agmdp info <file.agmbin>"));
+  }
+  auto info = graph::ReadBinaryGraphInfo(path);
+  if (!info.ok()) {
+    return info.status().code() == util::StatusCode::kIoError
+               ? FailUsage(info.status())
+               : Fail(info.status());
+  }
+  const graph::BinaryGraphInfo& i = info.value();
+  std::printf("container:  %s\n", path.c_str());
+  std::printf("version:    %u\n", i.format_version);
+  std::printf("page size:  %u\n", i.page_size);
+  std::printf("data pages: %llu\n",
+              static_cast<unsigned long long>(i.num_data_pages));
+  std::printf("file bytes: %llu\n",
+              static_cast<unsigned long long>(i.file_bytes));
+  std::printf("nodes:      %llu\n",
+              static_cast<unsigned long long>(i.num_nodes));
+  std::printf("edges:      %llu\n",
+              static_cast<unsigned long long>(i.num_edges));
+  std::printf("attr width: %u\n", i.num_attributes);
+  std::printf("checksums:  %s\n", i.checksums_ok ? "OK" : "FAILED");
+  if (!i.checksums_ok) {
+    std::fprintf(stderr, "error: %s\n", i.checksum_error.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 int CmdExport(const util::Flags& flags) {
   auto input = LoadInput(flags, "in");
   if (!input.ok()) return Fail(input.status());
@@ -770,6 +879,8 @@ int main(int argc, char** argv) {
   if (command == "sweep") return CmdSweep(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "client") return CmdClient(flags);
+  if (command == "convert") return CmdConvert(flags);
+  if (command == "info") return CmdInfo(flags);
   if (command == "export") return CmdExport(flags);
   return UnknownCommand(command);
 }

@@ -30,6 +30,9 @@ REQUIRED_TRUE_FLAGS = [
     # The daemon path (PR 7): every checksum served over TCP under 4
     # concurrent clients must match the sequential in-process oracle.
     "server_deterministic",
+    # Binary container (PR 8): the mmap-backed snapshot must evaluate
+    # bitwise-identically to the in-RAM snapshot at 1/2/4 threads.
+    "storage_deterministic",
 ]
 REQUIRED_KEYS = [
     "hardware_concurrency",
@@ -40,6 +43,9 @@ REQUIRED_KEYS = [
     # `agmdp serve` under concurrent TCP load: wall clock, p50/p99 latency.
     "server_seconds",
     "server_samples_per_sec",
+    # Binary container (PR 8): text load vs convert vs verified/unverified
+    # mmap open on the same graph.
+    "storage_seconds",
 ]
 
 # The headline properties, gated machine-independently: each ratio compares
@@ -63,6 +69,11 @@ MIN_SERVING_SPEEDUP = 2.0
 # the pre-fusion one-pass-per-metric CSR path, same snapshot, same
 # reference profile, 1 thread, both in this process (measured ~2x).
 MIN_FUSED_SPEEDUP = 1.5
+# Binary graph container (PR 8): a verified mmap open (header CRC + page
+# CRC sweep + semantic validation) vs parsing the same graph from the text
+# pair, same process, same runner. Measured well over an order of
+# magnitude; 5x leaves headroom for slow CI disks.
+MIN_BINARY_LOAD_SPEEDUP = 5.0
 
 # Parallel wall-clock speedups, by contrast, are NOT machine-independent:
 # a 1-core container runs every "thread count" on the same core and can
@@ -125,6 +136,9 @@ def main(argv):
         ("fused_eval_speedup", MIN_FUSED_SPEEDUP,
          "the fused evaluation kernel must beat the one-pass-per-metric "
          "CSR path"),
+        ("binary_load_speedup", MIN_BINARY_LOAD_SPEEDUP,
+         "a verified mmap open of the binary container must beat parsing "
+         "the text pair"),
     ]
     for key, floor, why in speedup_gates:
         speedup = fresh.get(key)
