@@ -11,6 +11,7 @@
 
 #include "src/graph/graph_io.h"
 #include "src/util/checksum.h"
+#include "src/util/fault_injector.h"
 #include "src/util/mmap_file.h"
 
 namespace agmdp::graph {
@@ -321,6 +322,7 @@ util::Status WriteBinaryGraph(const AttributedGraph& g,
   BinaryGraphHeader h =
       MakeHeader(n, g.num_edges(),
                  static_cast<uint32_t>(g.num_attributes()), options.page_size);
+  if (auto st = util::CheckFault("container.create"); !st.ok()) return st;
   auto mapped = util::MappedFile::CreateReadWrite(path, h.file_bytes);
   if (!mapped.ok()) return mapped.status();
   util::MappedFile file = std::move(mapped).value();
@@ -346,6 +348,7 @@ util::Status WriteBinaryGraph(const AttributedGraph& g,
     std::memcpy(attrs, g.attributes().data(), h.attributes.bytes);
   }
   FinalizeChecksums(data, &h);
+  if (auto st = util::CheckFault("container.sync"); !st.ok()) return st;
   return file.Sync();
 }
 
@@ -429,6 +432,7 @@ util::Result<BinaryGraphInfo> ConvertTextToBinary(
 
   BinaryGraphHeader h = MakeHeader(n, num_edges, static_cast<uint32_t>(w),
                                    options.binary.page_size);
+  if (auto st = util::CheckFault("container.create"); !st.ok()) return st;
   auto mapped = util::MappedFile::CreateReadWrite(bin_path, h.file_bytes);
   if (!mapped.ok()) return mapped.status();
   util::MappedFile file = std::move(mapped).value();
@@ -521,6 +525,7 @@ util::Result<BinaryGraphInfo> ConvertTextToBinary(
   }
 
   FinalizeChecksums(data, &h);
+  if (auto st = util::CheckFault("container.sync"); !st.ok()) return st;
   if (auto st = file.Sync(); !st.ok()) return st;
 
   BinaryGraphInfo info;

@@ -16,10 +16,35 @@
 
 namespace agmdp::server {
 
+struct ClientOptions {
+  /// Socket-level bound on connect(); <= 0 blocks indefinitely.
+  int connect_timeout_ms = 5'000;
+  /// Per-send / per-recv deadline. A server that stops answering turns
+  /// into a typed DeadlineExceeded instead of a parked thread. <= 0
+  /// blocks indefinitely.
+  int io_timeout_ms = 30'000;
+};
+
+/// Jittered exponential backoff for CallWithRetry. Every protocol op is
+/// idempotent — graphs are pure functions of (seed, sequence) and ledger
+/// charges are idempotent per release key — so retrying a request whose
+/// response was lost is always safe.
+struct RetryPolicy {
+  /// Total attempts including the first (1 = no retry).
+  int max_attempts = 3;
+  int initial_backoff_ms = 50;
+  double backoff_multiplier = 2.0;
+  int max_backoff_ms = 2'000;
+  /// Seed of the deterministic jitter stream (util::Rng) — tests pin it.
+  uint64_t jitter_seed = 1;
+};
+
 class Client {
  public:
   /// Connects to host:port (IPv4 dotted quad, e.g. "127.0.0.1").
   static util::Result<Client> Connect(const std::string& host, int port);
+  static util::Result<Client> Connect(const std::string& host, int port,
+                                      const ClientOptions& options);
 
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
@@ -31,7 +56,8 @@ class Client {
   util::Status Send(const Request& request);
 
   /// Blocks for the next response line. Fails with Unavailable when the
-  /// server closes the connection, InvalidArgument on a garbled line.
+  /// server closes the connection, DeadlineExceeded when io_timeout_ms
+  /// passes without one, InvalidArgument on a garbled line.
   util::Result<Response> ReadResponse();
 
   /// Send + ReadResponse, verifying the echoed id. The transport-level
@@ -45,5 +71,16 @@ class Client {
   /// Bytes received but not yet consumed as a full line.
   std::string pending_;
 };
+
+/// One lock-step request with reconnect + jittered-exponential-backoff
+/// retry on transport failures (Unavailable / DeadlineExceeded). Each
+/// attempt uses a fresh connection, so a half-dead socket from a previous
+/// attempt can never swallow the retry. Application-level errors in the
+/// response (out of budget, unknown name, ...) are returned immediately —
+/// they are answers, not transport failures.
+util::Result<Response> CallWithRetry(const std::string& host, int port,
+                                     const Request& request,
+                                     const ClientOptions& options = {},
+                                     const RetryPolicy& policy = {});
 
 }  // namespace agmdp::server

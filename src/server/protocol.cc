@@ -183,6 +183,9 @@ util::Result<Request> ParseRequest(const std::string& line) {
   if (auto st = ReadString(object, "artifact", &request.artifact); !st.ok()) {
     return st;
   }
+  if (auto st = ReadString(object, "dataset", &request.dataset); !st.ok()) {
+    return st;
+  }
   if (auto st = ReadUint64(object, "seed", &request.seed); !st.ok()) return st;
   if (auto st = ReadUint64(object, "sequence", &request.sequence); !st.ok()) {
     return st;
@@ -197,7 +200,11 @@ util::Result<Request> ParseRequest(const std::string& line) {
   switch (request.op) {
     case RequestOp::kLoad:
       if (request.name.empty()) return Invalid("load needs 'name'");
-      if (request.artifact.empty()) return Invalid("load needs 'artifact'");
+      if (request.artifact.empty() == request.dataset.empty()) {
+        return Invalid(
+            "load needs exactly one of 'artifact' (a file path) or "
+            "'dataset' (a registry lookup)");
+      }
       break;
     case RequestOp::kSample:
       if (request.name.empty()) return Invalid("sample needs 'name'");
@@ -232,6 +239,9 @@ std::string SerializeRequest(const Request& request) {
   if (!request.name.empty()) AppendString(&out, "name", request.name, &first);
   if (!request.artifact.empty()) {
     AppendString(&out, "artifact", request.artifact, &first);
+  }
+  if (!request.dataset.empty()) {
+    AppendString(&out, "dataset", request.dataset, &first);
   }
   if (request.op == RequestOp::kSample) {
     AppendUint(&out, "seed", request.seed, &first);

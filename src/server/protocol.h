@@ -5,6 +5,9 @@
 //
 // Requests (fields beyond `op`/`id` are op-specific):
 //   {"op":"load","id":1,"tenant":"t","name":"m","artifact":"r.json"}
+//   {"op":"load","id":1,"tenant":"t","name":"m","dataset":"lastfm"}
+//     (registry-resolved: the server looks (dataset, name) up in its
+//      ArtifactRegistry instead of reading an artifact file)
 //   {"op":"sample","id":2,"tenant":"t","name":"m","seed":7,"sequence":0,
 //    "count":2,"out":"prefix"}
 //   {"op":"pin","id":3,"name":"m"}       {"op":"unpin","id":4,"name":"m"}
@@ -64,8 +67,11 @@ struct Request {
   std::string tenant;
   /// Cache entry name (every op except stats/shutdown).
   std::string name;
-  /// Artifact file path (load only).
+  /// Artifact file path (load only; exclusive with `dataset`).
   std::string artifact;
+  /// Registry dataset to resolve (dataset, name) from (load only;
+  /// exclusive with `artifact` — needs a daemon started with a registry).
+  std::string dataset;
   /// Sampling request (sample only): graphs (seed, sequence) ..
   /// (seed, sequence + count - 1), exactly ReleaseEngine::SampleMany.
   uint64_t seed = 1;

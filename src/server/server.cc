@@ -7,12 +7,15 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
 #include "src/graph/graph_io.h"
 #include "src/graph/graph_source.h"
 #include "src/pipeline/release_artifact.h"
+#include "src/util/fault_injector.h"
 
 namespace agmdp::server {
 
@@ -48,6 +51,23 @@ util::Result<std::unique_ptr<Server>> Server::Start(
     return util::Status::InvalidArgument("server: port must be in [0,65535]");
   }
   std::unique_ptr<Server> server(new Server(options));
+
+  if (!options.registry_path.empty()) {
+    registry::RegistryOptions registry_options;
+    registry_options.default_dataset_cap = options.default_dataset_cap;
+    registry_options.dataset_caps = options.dataset_caps;
+    registry_options.fsync = options.registry_fsync;
+    auto registry = registry::ArtifactRegistry::Open(options.registry_path,
+                                                     registry_options);
+    if (!registry.ok()) return registry.status();
+    server->registry_ = std::move(registry).value();
+    // Rebuild the ledger from the journal before serving a single request:
+    // epsilon acknowledged in a previous process life stays spent.
+    for (const registry::TenantChargeRow& row :
+         server->registry_->TenantCharges()) {
+      server->ledger_.Restore(row.tenant, row.release_key, row.epsilon);
+    }
+  }
 
   server->listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (server->listen_fd_ < 0) {
@@ -102,7 +122,11 @@ Server::~Server() {
   Wait();
 }
 
-void Server::Stop() {
+void Server::Stop() { StopInternal(false); }
+
+void Server::Drain() { StopInternal(true); }
+
+void Server::StopInternal(bool drain) {
   if (stopping_.exchange(true)) return;
   {
     // conns_mu_ also guards the fd values against the Wait() teardown:
@@ -111,7 +135,10 @@ void Server::Stop() {
     const std::lock_guard<std::mutex> lock(conns_mu_);
     if (listen_fd_ >= 0) ::shutdown(listen_fd_, SHUT_RDWR);
     for (const auto& conn : conns_) {
-      if (conn->fd >= 0) ::shutdown(conn->fd, SHUT_RDWR);
+      // Drain half-closes for reading only: no new requests can arrive,
+      // but responses for already-queued work still flush to the client
+      // before Wait() tears the sockets down.
+      if (conn->fd >= 0) ::shutdown(conn->fd, drain ? SHUT_RD : SHUT_RDWR);
     }
   }
   queue_cv_.notify_all();
@@ -133,6 +160,16 @@ void Server::Wait() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // Every worker is done: compact the journal so the next process recovers
+  // from one checkpoint record instead of replaying the whole history. A
+  // failure here loses nothing — the journal it would have compacted is
+  // still the durable truth.
+  if (registry_ != nullptr) {
+    if (auto st = registry_->Checkpoint(); !st.ok()) {
+      std::fprintf(stderr, "server: registry checkpoint at shutdown: %s\n",
+                   st.ToString().c_str());
+    }
+  }
   // Every thread is joined: descriptors stayed open (never reused for a
   // different client) until this single teardown point, so a queued
   // response can never have landed on a recycled descriptor — and closing
@@ -171,23 +208,106 @@ void Server::ListenLoop() {
 }
 
 void Server::WriteResponse(Connection* conn, const Response& response) {
+  if (util::FaultAction fault = util::PollFault("server.send"); fault.fire) {
+    // Simulate a dead peer / failed send: drop the response on the floor
+    // and kill the connection, exactly what the client-side retry must
+    // survive.
+    ::shutdown(conn->fd, SHUT_RDWR);
+    return;
+  }
   const std::string line = SerializeResponse(response) + "\n";
   const std::lock_guard<std::mutex> lock(conn->write_mu);
   size_t sent = 0;
   while (sent < line.size()) {
     const ssize_t n = ::send(conn->fd, line.data() + sent, line.size() - sent,
                              MSG_NOSIGNAL);
-    if (n <= 0) return;  // client hung up; the request is already done
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        // SO_SNDTIMEO expired: the client stopped draining responses.
+        // Abandon the connection rather than park this worker forever.
+        {
+          const std::lock_guard<std::mutex> stats_lock(stats_mu_);
+          ++stats_.write_timeouts;
+        }
+        ::shutdown(conn->fd, SHUT_RDWR);
+      }
+      return;  // client hung up; the request is already done
+    }
     sent += static_cast<size_t>(n);
   }
 }
 
 void Server::ConnectionLoop(Connection* conn) {
+  using Clock = std::chrono::steady_clock;
+  // SO_RCVTIMEO gives recv() a coarse polling granularity; the actual
+  // read/idle deadlines are enforced against a monotonic clock below, so
+  // the precision of the socket timeout never matters.
+  const bool timed =
+      options_.read_timeout_ms > 0 || options_.idle_timeout_ms > 0;
+  if (timed) {
+    timeval poll_tv{};
+    poll_tv.tv_sec = 0;
+    poll_tv.tv_usec = 100 * 1000;
+    ::setsockopt(conn->fd, SOL_SOCKET, SO_RCVTIMEO, &poll_tv,
+                 sizeof(poll_tv));
+  }
+  if (options_.write_timeout_ms > 0) {
+    timeval send_tv{};
+    send_tv.tv_sec = options_.write_timeout_ms / 1000;
+    send_tv.tv_usec = (options_.write_timeout_ms % 1000) * 1000;
+    ::setsockopt(conn->fd, SOL_SOCKET, SO_SNDTIMEO, &send_tv,
+                 sizeof(send_tv));
+  }
   std::string pending;
   char buf[4096];
+  Clock::time_point last_byte = Clock::now();
   while (true) {
     const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
-    if (n <= 0) break;
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno != EAGAIN && errno != EWOULDBLOCK) break;
+      if (stopping_.load()) break;
+      const auto waited = std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - last_byte)
+                              .count();
+      if (!pending.empty() && options_.read_timeout_ms > 0 &&
+          waited >= options_.read_timeout_ms) {
+        // A request line started arriving and then stalled — the
+        // slow-loris shape. Tell the client why, then reap.
+        {
+          const std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.reaped_deadline;
+        }
+        WriteResponse(
+            conn, ErrorResponse(
+                      0, util::Status::DeadlineExceeded(
+                             "server: request not completed within " +
+                             std::to_string(options_.read_timeout_ms) +
+                             " ms read deadline; closing connection")));
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
+      if (pending.empty() && options_.idle_timeout_ms > 0 &&
+          waited >= options_.idle_timeout_ms) {
+        {
+          const std::lock_guard<std::mutex> lock(stats_mu_);
+          ++stats_.reaped_idle;
+        }
+        WriteResponse(conn,
+                      ErrorResponse(0, util::Status::DeadlineExceeded(
+                                           "server: idle connection reaped "
+                                           "after " +
+                                           std::to_string(
+                                               options_.idle_timeout_ms) +
+                                           " ms")));
+        ::shutdown(conn->fd, SHUT_RDWR);
+        break;
+      }
+      continue;
+    }
+    last_byte = Clock::now();
     pending.append(buf, static_cast<size_t>(n));
     size_t newline;
     while ((newline = pending.find('\n')) != std::string::npos) {
@@ -313,8 +433,8 @@ void Server::ExecuteBatch(std::vector<Job>& batch) {
   // error while the rest proceed.
   std::vector<Job*> active;
   for (Job& job : batch) {
-    auto st = ledger_.Charge(job.request.tenant, release_key,
-                             engine.artifact().epsilon_spent);
+    auto st = ChargeTenant(job.request.tenant, release_key,
+                           engine.artifact().epsilon_spent);
     if (st.ok()) {
       active.push_back(&job);
     } else {
@@ -410,8 +530,40 @@ Response Server::Handle(const Request& request) {
                        util::Status::Internal("server: unhandled op"));
 }
 
+util::Status Server::ChargeTenant(const std::string& tenant,
+                                  uint64_t release_key, double epsilon) {
+  bool newly_charged = false;
+  if (auto st = ledger_.Charge(tenant, release_key, epsilon, &newly_charged);
+      !st.ok()) {
+    return st;
+  }
+  if (newly_charged && registry_ != nullptr) {
+    // Journal the fresh debit and fsync BEFORE the request is answered: a
+    // crash after this point finds the spend on disk; a crash before it
+    // finds an unacknowledged request. The in-memory debit is deliberately
+    // NOT rolled back when the journal fails — over-counting is the safe
+    // direction for a privacy budget.
+    if (auto st = registry_->ChargeTenant(tenant, release_key, epsilon);
+        !st.ok()) {
+      return st;
+    }
+  }
+  return util::Status::OK();
+}
+
 Response Server::HandleLoad(const Request& request) {
-  auto artifact = pipeline::ReadReleaseArtifact(request.artifact);
+  util::Result<pipeline::ReleaseArtifact> artifact =
+      [&]() -> util::Result<pipeline::ReleaseArtifact> {
+    if (!request.dataset.empty()) {
+      if (registry_ == nullptr) {
+        return util::Status::FailedPrecondition(
+            "server: load by dataset/name needs a daemon started with "
+            "--registry");
+      }
+      return registry_->Resolve(request.dataset, request.name);
+    }
+    return pipeline::ReadReleaseArtifact(request.artifact);
+  }();
   if (!artifact.ok()) return ErrorResponse(request.id, artifact.status());
 
   // The ledger is charged before the (expensive) engine build: the debit
@@ -419,8 +571,8 @@ Response Server::HandleLoad(const Request& request) {
   // a retry costs the tenant nothing extra.
   const uint64_t release_key =
       pipeline::ReleaseArtifactReleaseKey(artifact.value());
-  if (auto st = ledger_.Charge(request.tenant, release_key,
-                               artifact.value().epsilon_spent);
+  if (auto st = ChargeTenant(request.tenant, release_key,
+                             artifact.value().epsilon_spent);
       !st.ok()) {
     return ErrorResponse(request.id, std::move(st));
   }
@@ -449,7 +601,7 @@ Response Server::HandleSample(const Request& request) {
   auto lease = cache_.Lookup(request.name);
   if (!lease.ok()) return ErrorResponse(request.id, lease.status());
   const pipeline::ReleaseEngine& engine = *lease.value();
-  if (auto st = ledger_.Charge(
+  if (auto st = ChargeTenant(
           request.tenant,
           pipeline::ReleaseArtifactReleaseKey(engine.artifact()),
           engine.artifact().epsilon_spent);
@@ -507,6 +659,9 @@ Response Server::HandleStats(const Request& request) {
   add("batches", static_cast<double>(stats.batches));
   add("batched_requests", static_cast<double>(stats.batched_requests));
   add("graphs_served", static_cast<double>(stats.graphs_served));
+  add("reaped_idle", static_cast<double>(stats.reaped_idle));
+  add("reaped_deadline", static_cast<double>(stats.reaped_deadline));
+  add("write_timeouts", static_cast<double>(stats.write_timeouts));
   add("cache_hits", static_cast<double>(cache.hits));
   add("cache_misses", static_cast<double>(cache.misses));
   add("cache_evictions", static_cast<double>(cache.evictions));
@@ -519,6 +674,24 @@ Response Server::HandleStats(const Request& request) {
   for (const TenantLedger::TenantRow& row : ledger_.Rows()) {
     response.stats.emplace_back("tenant_spent:" + row.tenant, row.spent);
     response.stats.emplace_back("tenant_budget:" + row.tenant, row.budget);
+  }
+  if (registry_ != nullptr) {
+    const registry::RegistryStats reg = registry_->Stats();
+    add("registry_artifacts", static_cast<double>(reg.artifacts));
+    add("registry_datasets", static_cast<double>(reg.datasets));
+    add("registry_tenant_charges", static_cast<double>(reg.tenant_charges));
+    add("registry_recovered_records",
+        static_cast<double>(reg.recovered_records));
+    add("registry_discarded_tail_bytes",
+        static_cast<double>(reg.discarded_tail_bytes));
+    add("registry_appends", static_cast<double>(reg.appends));
+    add("registry_checkpoints", static_cast<double>(reg.checkpoints));
+    add("registry_journal_bytes", static_cast<double>(reg.journal_bytes));
+    add("registry_wounded", reg.wounded ? 1.0 : 0.0);
+    for (const registry::DatasetRow& row : registry_->Datasets()) {
+      response.stats.emplace_back("dataset_spent:" + row.dataset, row.spent);
+      response.stats.emplace_back("dataset_cap:" + row.dataset, row.cap);
+    }
   }
   return response;
 }

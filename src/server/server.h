@@ -43,6 +43,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/registry/artifact_registry.h"
 #include "src/server/engine_cache.h"
 #include "src/server/protocol.h"
 #include "src/server/tenant_ledger.h"
@@ -71,6 +72,28 @@ struct ServerOptions {
   std::vector<std::pair<std::string, double>> tenant_budgets;
   /// Coalesce compatible queued sample requests into one SampleMany call.
   bool batching = true;
+  /// Path of the durable ArtifactRegistry. Empty = no registry: tenant
+  /// charges are memory-only (lost on restart) and registry-resolved loads
+  /// are refused. With a registry, every fresh ledger debit is journaled
+  /// and fsynced BEFORE the load is acknowledged, and the ledger is
+  /// rebuilt from the journal at startup — restarts are epsilon-safe.
+  std::string registry_path;
+  /// Lifetime per-dataset epsilon caps for the registry (see
+  /// registry::RegistryOptions).
+  double default_dataset_cap = 0.0;
+  std::vector<std::pair<std::string, double>> dataset_caps;
+  /// fsync registry appends (disable only in tests).
+  bool registry_fsync = true;
+  /// Once a request line has started arriving, the client has this long to
+  /// finish it before the connection is reaped with DeadlineExceeded
+  /// (slow-loris defense). <= 0 disables.
+  int read_timeout_ms = 30'000;
+  /// A connection with no bytes in flight may sit idle this long before
+  /// being reaped. <= 0 disables.
+  int idle_timeout_ms = 300'000;
+  /// Per-send socket timeout; a client that stops draining responses for
+  /// this long gets its connection shut down. <= 0 disables.
+  int write_timeout_ms = 30'000;
 };
 
 /// Monotone request-path counters (cache and ledger keep their own).
@@ -82,6 +105,12 @@ struct ServerStats {
   /// Sample requests that rode in a batch of >= 2.
   uint64_t batched_requests = 0;
   uint64_t graphs_served = 0;
+  /// Connections reaped with no request in flight (idle_timeout_ms).
+  uint64_t reaped_idle = 0;
+  /// Connections reaped mid-request (read_timeout_ms, slow-loris).
+  uint64_t reaped_deadline = 0;
+  /// Responses abandoned because the client stopped draining the socket.
+  uint64_t write_timeouts = 0;
 };
 
 /// \brief The serving daemon. Construct via Start(), drive via TCP or the
@@ -107,6 +136,12 @@ class Server {
   /// Wait() or the destructor.
   void Stop();
 
+  /// Graceful variant for SIGTERM: stops accepting and half-closes every
+  /// connection for reading, but lets queued work finish and its responses
+  /// flush before the sockets go down. Wait() then also checkpoints the
+  /// registry. Idempotent with Stop() (first signal wins).
+  void Drain();
+
   /// Blocks until the daemon stops, then joins all threads.
   void Wait();
 
@@ -118,6 +153,10 @@ class Server {
   ServerStats Stats() const;
   EngineCacheStats CacheStats() const { return cache_.Stats(); }
   const TenantLedger& ledger() const { return ledger_; }
+  /// The durable registry, or nullptr when the daemon runs without one.
+  const registry::ArtifactRegistry* registry() const {
+    return registry_.get();
+  }
 
  private:
   struct Connection {
@@ -136,9 +175,18 @@ class Server {
 
   explicit Server(const ServerOptions& options);
 
+  void StopInternal(bool drain);
+
   Response HandleLoad(const Request& request);
   Response HandleSample(const Request& request);
   Response HandleStats(const Request& request);
+
+  /// Debits the in-memory ledger and, when the debit is fresh and a
+  /// registry is open, journals it durably. The request fails if the
+  /// journal append fails (the memory debit stays — over-counting is the
+  /// safe direction); success means the spend survives a crash.
+  util::Status ChargeTenant(const std::string& tenant, uint64_t release_key,
+                            double epsilon);
 
   /// Writes out-graphs (when requested) and builds the per-graph
   /// summaries, consuming `graphs`.
@@ -166,6 +214,7 @@ class Server {
 
   EngineCache cache_;
   TenantLedger ledger_;
+  std::unique_ptr<registry::ArtifactRegistry> registry_;
 
   std::atomic<bool> stopping_{false};
   std::thread listener_;

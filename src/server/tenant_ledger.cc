@@ -23,7 +23,9 @@ TenantLedger::TenantState* TenantLedger::Resolve(const std::string& tenant) {
 }
 
 util::Status TenantLedger::Charge(const std::string& tenant,
-                                  uint64_t release_key, double epsilon) {
+                                  uint64_t release_key, double epsilon,
+                                  bool* newly_charged) {
+  if (newly_charged != nullptr) *newly_charged = false;
   if (tenant.empty()) {
     return util::Status::InvalidArgument(
         "tenant ledger: request is missing a tenant");
@@ -53,7 +55,30 @@ util::Status TenantLedger::Charge(const std::string& tenant,
   }
   state->spent += epsilon;
   state->charged.push_back(release_key);
+  if (newly_charged != nullptr) *newly_charged = true;
   return util::Status();
+}
+
+void TenantLedger::Restore(const std::string& tenant, uint64_t release_key,
+                           double epsilon) {
+  if (tenant.empty() || epsilon < 0.0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto it = tenants_.find(tenant);
+  TenantState* state;
+  if (it != tenants_.end()) {
+    state = &it->second;
+  } else {
+    // Unknown tenant with durable history: carry the spend under the
+    // default budget (even a zero default — the debt is real either way).
+    state = &tenants_[tenant];
+    state->budget = options_.default_budget;
+  }
+  if (std::find(state->charged.begin(), state->charged.end(), release_key) !=
+      state->charged.end()) {
+    return;
+  }
+  state->spent += epsilon;
+  state->charged.push_back(release_key);
 }
 
 double TenantLedger::Spent(const std::string& tenant) const {

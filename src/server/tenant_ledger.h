@@ -51,9 +51,18 @@ class TenantLedger {
   /// success). Fails with ResourceExhausted when the debit would exceed
   /// the tenant's budget, InvalidArgument on an empty tenant name, and
   /// ResourceExhausted naming the tenant when unknown tenants are
-  /// rejected.
+  /// rejected. When `newly_charged` is non-null it reports whether this
+  /// call actually debited (false for the idempotent re-charge) — the
+  /// server journals a durable registry record only for fresh debits.
   util::Status Charge(const std::string& tenant, uint64_t release_key,
-                      double epsilon);
+                      double epsilon, bool* newly_charged = nullptr);
+
+  /// Replays a durable charge at startup, bypassing the budget check: the
+  /// registry already acknowledged this spend in a previous process life,
+  /// so it must be reflected even if budgets were lowered since (the
+  /// over-budget tenant is then simply unable to load anything new).
+  void Restore(const std::string& tenant, uint64_t release_key,
+               double epsilon);
 
   /// Total epsilon debited to the tenant so far (0 for unknown tenants).
   double Spent(const std::string& tenant) const;

@@ -1,0 +1,120 @@
+#include "src/util/fault_injector.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace agmdp::util {
+
+std::atomic<bool> FaultInjector::armed_{false};
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = [] {
+    auto* created = new FaultInjector();
+    if (const char* spec = std::getenv("AGMDP_FAULTS");
+        spec != nullptr && spec[0] != '\0') {
+      Status st = created->ArmFromSpec(spec);
+      if (!st.ok()) {
+        std::fprintf(stderr, "AGMDP_FAULTS ignored: %s\n",
+                     st.ToString().c_str());
+      }
+    }
+    return created;
+  }();
+  return *injector;
+}
+
+Status FaultInjector::Arm(const std::string& point, uint64_t nth,
+                          FaultKind kind) {
+  if (point.empty()) return Status::InvalidArgument("empty fault point name");
+  if (nth == 0) {
+    return Status::InvalidArgument("fault point '" + point +
+                                   "': hit count is 1-based, got 0");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  Point& entry = points_[point];
+  entry.nth = nth;
+  entry.kind = kind;
+  entry.fired = false;
+  armed_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status FaultInjector::ArmFromSpec(const std::string& spec) {
+  size_t begin = 0;
+  while (begin <= spec.size()) {
+    size_t end = spec.find_first_of(",;", begin);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(begin, end - begin);
+    begin = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec item '" + item +
+                                     "' is not point=N[:kind]");
+    }
+    const std::string point = item.substr(0, eq);
+    std::string count = item.substr(eq + 1);
+    FaultKind kind = FaultKind::kError;
+    if (const size_t colon = count.find(':'); colon != std::string::npos) {
+      const std::string name = count.substr(colon + 1);
+      count.resize(colon);
+      if (name == "error") {
+        kind = FaultKind::kError;
+      } else if (name == "torn") {
+        kind = FaultKind::kTornWrite;
+      } else if (name == "exit") {
+        kind = FaultKind::kExit;
+      } else {
+        return Status::InvalidArgument("fault spec item '" + item +
+                                       "': unknown kind '" + name + "'");
+      }
+    }
+    char* parse_end = nullptr;
+    const unsigned long long nth = std::strtoull(count.c_str(), &parse_end, 10);
+    if (count.empty() || parse_end == nullptr || *parse_end != '\0') {
+      return Status::InvalidArgument("fault spec item '" + item +
+                                     "': bad hit count '" + count + "'");
+    }
+    Status st = Arm(point, nth, kind);
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+void FaultInjector::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+  armed_.store(false, std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::Hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+FaultAction FaultInjector::Poll(const char* point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it == points_.end()) return FaultAction{};
+  Point& entry = it->second;
+  ++entry.hits;
+  if (entry.fired || entry.hits != entry.nth) return FaultAction{};
+  entry.fired = true;
+  if (entry.kind == FaultKind::kExit) {
+    // Simulate a crash at this instruction: no destructors, no stream
+    // flushing, no atexit handlers — just like a kill -9 landing here.
+    ::_exit(kExitCode);
+  }
+  return FaultAction{true, entry.kind};
+}
+
+Status CheckFault(const char* point) {
+  FaultAction fault = PollFault(point);
+  if (!fault.fire) return Status::OK();
+  return Status::IoError(std::string("injected fault at '") + point + "'");
+}
+
+}  // namespace agmdp::util

@@ -1,0 +1,106 @@
+// Deterministic fault injection for crash, torn-write, and partial-IO tests.
+//
+// Durability code is only as trustworthy as the failures it has actually
+// survived. This injector lets tests (and CI smokes) arm named fault points —
+// "registry.charge.fsync", "server.send", "container.sync" — so the exact
+// write/fsync/rename/send that should fail, fails, on the Nth hit, either as
+// a typed error, as a torn (partial) write, or as an immediate process exit
+// that simulates a crash at that instruction.
+//
+// The disarmed path costs one relaxed atomic load and no allocation, so
+// production call sites can poll unconditionally:
+//
+//   if (auto fault = util::PollFault("registry.charge.fsync"); fault.fire) ...
+//
+// Arming is either programmatic (tests call FaultInjector::Global().Arm) or
+// environmental: AGMDP_FAULTS="registry.commit.fsync=1:exit" arms the first
+// hit of that point to _exit the process — which is how the CI crash-recovery
+// smoke kills a live daemon in the middle of a journal append.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/util/status.h"
+
+namespace agmdp::util {
+
+enum class FaultKind : int {
+  /// The call site surfaces a typed IoError without performing the IO.
+  kError = 0,
+  /// The call site writes a deliberately truncated prefix of the payload,
+  /// then surfaces an IoError — a torn write, as a power loss would leave.
+  kTornWrite = 1,
+  /// The process _exits immediately inside the hit (no destructors, no
+  /// flushing) — a crash at exactly this instruction.
+  kExit = 2,
+};
+
+/// What a call site should do at a polled fault point.
+struct FaultAction {
+  bool fire = false;
+  FaultKind kind = FaultKind::kError;
+};
+
+/// Process-wide registry of armed fault points. Thread-safe.
+class FaultInjector {
+ public:
+  /// The singleton. First access arms any points named in $AGMDP_FAULTS.
+  static FaultInjector& Global();
+
+  /// The exit code used by FaultKind::kExit, chosen to be distinguishable
+  /// from a clean exit (0), a runtime failure (1), and a signal death.
+  static constexpr int kExitCode = 42;
+
+  /// Arms `point` to fire on its `nth` hit (1-based) with `kind`. A point
+  /// fires exactly once, then stays spent until Reset/re-Arm.
+  Status Arm(const std::string& point, uint64_t nth, FaultKind kind);
+
+  /// Arms from a spec string: "point=N[:error|:torn|:exit]" joined by ','
+  /// or ';'. Empty spec is a no-op. Malformed specs are InvalidArgument.
+  Status ArmFromSpec(const std::string& spec);
+
+  /// Disarms every point and clears hit counters.
+  void Reset();
+
+  /// Total times `point` was polled while the injector was armed.
+  uint64_t Hits(const std::string& point) const;
+
+  /// Records a hit on `point` and returns the action. FaultKind::kExit is
+  /// executed here (the call never returns in that case).
+  FaultAction Poll(const char* point);
+
+  /// True when any point is armed — the hot-path gate.
+  static bool Armed() { return armed_.load(std::memory_order_relaxed); }
+
+ private:
+  FaultInjector() = default;
+
+  struct Point {
+    uint64_t nth = 1;
+    FaultKind kind = FaultKind::kError;
+    uint64_t hits = 0;
+    bool fired = false;
+  };
+
+  static std::atomic<bool> armed_;
+
+  mutable std::mutex mu_;
+  std::map<std::string, Point> points_;
+};
+
+/// Hot-path poll: free when nothing is armed anywhere in the process.
+inline FaultAction PollFault(const char* point) {
+  if (!FaultInjector::Armed()) return FaultAction{};
+  return FaultInjector::Global().Poll(point);
+}
+
+/// Convenience for call sites with no partial-write semantics: kError and
+/// kTornWrite both become a typed IoError naming the point; kExit exits.
+Status CheckFault(const char* point);
+
+}  // namespace agmdp::util

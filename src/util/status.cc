@@ -33,6 +33,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "ChecksumMismatch";
     case StatusCode::kVersionMismatch:
       return "VersionMismatch";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -45,7 +47,7 @@ StatusCode StatusCodeFromString(const std::string& name) {
       StatusCode::kIoError,      StatusCode::kUnimplemented,
       StatusCode::kResourceExhausted,  StatusCode::kUnavailable,
       StatusCode::kCorruption,   StatusCode::kChecksumMismatch,
-      StatusCode::kVersionMismatch,
+      StatusCode::kVersionMismatch,  StatusCode::kDeadlineExceeded,
   };
   for (StatusCode code : kAll) {
     if (name == StatusCodeToString(code)) return code;

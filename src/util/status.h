@@ -38,6 +38,9 @@ enum class StatusCode : int {
   /// The file carries an incompatible format version (or byte order);
   /// re-convert with the current tools.
   kVersionMismatch = 12,
+  /// An operation ran past its deadline (socket read/write timeout, idle
+  /// connection reaped). Retryable on idempotent requests.
+  kDeadlineExceeded = 13,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -92,6 +95,9 @@ class Status {
   }
   static Status VersionMismatch(std::string msg) {
     return Status(StatusCode::kVersionMismatch, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
   /// Rebuilds a status from (code, message) — the deserialization side of
   /// the wire protocol. An OK code yields an OK status (message dropped).

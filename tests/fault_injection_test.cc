@@ -1,0 +1,149 @@
+// util::FaultInjector mechanics plus the fault points threaded through the
+// graph container writers and the serving socket path (ctest label:
+// fault). The serving case is the full robustness loop: an injected send
+// failure drops one response on the floor, and the client's
+// jittered-backoff retry — safe because every protocol op is idempotent —
+// turns it into a success on the next connection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/datasets/datasets.h"
+#include "src/graph/graph_container.h"
+#include "src/server/client.h"
+#include "src/server/protocol.h"
+#include "src/server/server.h"
+#include "src/util/check.h"
+#include "src/util/fault_injector.h"
+
+namespace agmdp {
+namespace {
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::FaultInjector::Global().Reset(); }
+};
+
+TEST_F(FaultInjectionTest, FiresOnTheNthHitExactlyOnce) {
+  util::FaultInjector& injector = util::FaultInjector::Global();
+  ASSERT_TRUE(injector.Arm("p", 2, util::FaultKind::kError).ok());
+  EXPECT_TRUE(util::FaultInjector::Armed());
+
+  EXPECT_FALSE(injector.Poll("p").fire);  // hit 1
+  const util::FaultAction second = injector.Poll("p");
+  EXPECT_TRUE(second.fire);  // hit 2 — the armed one
+  EXPECT_EQ(second.kind, util::FaultKind::kError);
+  EXPECT_FALSE(injector.Poll("p").fire);  // spent
+  EXPECT_EQ(injector.Hits("p"), 3u);
+  EXPECT_FALSE(injector.Poll("unarmed").fire);
+
+  injector.Reset();
+  EXPECT_FALSE(util::FaultInjector::Armed());
+  EXPECT_EQ(injector.Hits("p"), 0u);
+  // Disarmed, the inline gate short-circuits without recording hits.
+  EXPECT_FALSE(util::PollFault("p").fire);
+  EXPECT_EQ(injector.Hits("p"), 0u);
+}
+
+TEST_F(FaultInjectionTest, ArmRejectsBadInputs) {
+  util::FaultInjector& injector = util::FaultInjector::Global();
+  EXPECT_FALSE(injector.Arm("", 1, util::FaultKind::kError).ok());
+  EXPECT_FALSE(injector.Arm("p", 0, util::FaultKind::kError).ok());
+}
+
+TEST_F(FaultInjectionTest, SpecParsing) {
+  util::FaultInjector& injector = util::FaultInjector::Global();
+  ASSERT_TRUE(injector.ArmFromSpec("a=1,b=2:torn;c=3:error").ok());
+  EXPECT_TRUE(injector.Poll("a").fire);
+  EXPECT_FALSE(injector.Poll("b").fire);
+  const util::FaultAction torn = injector.Poll("b");
+  EXPECT_TRUE(torn.fire);
+  EXPECT_EQ(torn.kind, util::FaultKind::kTornWrite);
+  injector.Reset();
+
+  EXPECT_TRUE(injector.ArmFromSpec("").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("no-equals").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("p=").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("p=abc").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("p=0").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("p=1:sideways").ok());
+  EXPECT_FALSE(injector.ArmFromSpec("=1").ok());
+}
+
+TEST_F(FaultInjectionTest, CheckFaultNamesThePoint) {
+  util::FaultInjector& injector = util::FaultInjector::Global();
+  ASSERT_TRUE(injector.Arm("x.y", 1, util::FaultKind::kError).ok());
+  const util::Status st = util::CheckFault("x.y");
+  EXPECT_EQ(st.code(), util::StatusCode::kIoError);
+  EXPECT_NE(st.message().find("x.y"), std::string::npos) << st.ToString();
+  EXPECT_TRUE(util::CheckFault("x.y").ok());
+}
+
+TEST_F(FaultInjectionTest, ContainerWriteFaultsSurfaceAsIoErrors) {
+  auto g = datasets::GenerateDataset(datasets::DatasetId::kLastFm,
+                                     /*scale=*/0.05, /*seed=*/7);
+  ASSERT_TRUE(g.ok());
+  const std::string path = ::testing::TempDir() + "fault_container.agmbin";
+
+  for (const char* point : {"container.create", "container.sync"}) {
+    ASSERT_TRUE(util::FaultInjector::Global()
+                    .Arm(point, 1, util::FaultKind::kError)
+                    .ok());
+    const util::Status st = graph::WriteBinaryGraph(g.value(), path, {});
+    EXPECT_EQ(st.code(), util::StatusCode::kIoError)
+        << point << ": " << st.ToString();
+    util::FaultInjector::Global().Reset();
+  }
+  // Disarmed, the same write succeeds.
+  EXPECT_TRUE(graph::WriteBinaryGraph(g.value(), path, {}).ok());
+  std::remove(path.c_str());
+}
+
+TEST_F(FaultInjectionTest, DroppedResponseIsAbsorbedByClientRetry) {
+  server::ServerOptions options;
+  options.worker_threads = 1;
+  options.default_tenant_budget = 10.0;
+  auto started = server::Server::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  server::Server& daemon = *started.value();
+
+  server::Request request;
+  request.op = server::RequestOp::kStats;
+  request.id = 1;
+  request.tenant = "alice";
+
+  // The injected send failure shuts the connection with the response
+  // undelivered; a single-attempt client sees a transport error...
+  ASSERT_TRUE(util::FaultInjector::Global()
+                  .Arm("server.send", 1, util::FaultKind::kError)
+                  .ok());
+  server::RetryPolicy no_retry;
+  no_retry.max_attempts = 1;
+  auto failed = server::CallWithRetry("127.0.0.1", daemon.port(), request,
+                                      {}, no_retry);
+  ASSERT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), util::StatusCode::kUnavailable)
+      << failed.status().ToString();
+
+  // ...and a retrying client absorbs it: the point fires once, the second
+  // attempt's fresh connection gets a clean answer.
+  ASSERT_TRUE(util::FaultInjector::Global()
+                  .Arm("server.send", 1, util::FaultKind::kError)
+                  .ok());
+  server::RetryPolicy retry;
+  retry.max_attempts = 3;
+  retry.initial_backoff_ms = 1;
+  auto response = server::CallWithRetry("127.0.0.1", daemon.port(), request,
+                                        {}, retry);
+  ASSERT_TRUE(response.ok()) << response.status().ToString();
+  EXPECT_TRUE(response.value().status.ok())
+      << response.value().status.ToString();
+  util::FaultInjector::Global().Reset();
+
+  daemon.Stop();
+  daemon.Wait();
+}
+
+}  // namespace
+}  // namespace agmdp

@@ -12,9 +12,16 @@
 //     same (seed, sequence) requests from the engine directly.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <string>
@@ -24,6 +31,7 @@
 #include "src/datasets/datasets.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
+#include "src/registry/artifact_registry.h"
 #include "src/server/client.h"
 #include "src/server/engine_cache.h"
 #include "src/server/protocol.h"
@@ -678,6 +686,274 @@ TEST(ServerTcpTest, ShutdownOpStopsTheDaemonCleanly) {
   ASSERT_TRUE(probe.value().Call(stats).ok());
   again.value()->Stop();
   again.value()->Wait();
+}
+
+// ------------------------------------------- timeouts and the registry --
+
+TEST(ProtocolTest, LoadRoundTripsDatasetAndNeedsExactlyOneSource) {
+  server::Request request;
+  request.op = server::RequestOp::kLoad;
+  request.id = 3;
+  request.tenant = "alice";
+  request.name = "m";
+  request.dataset = "lastfm";
+  auto back = server::ParseRequest(server::SerializeRequest(request));
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back.value().dataset, "lastfm");
+  EXPECT_TRUE(back.value().artifact.empty());
+
+  // A load naming both sources, or neither, is a typed usage error.
+  const char* bad[] = {
+      "{\"op\":\"load\",\"id\":1,\"name\":\"m\",\"artifact\":\"a.json\","
+      "\"dataset\":\"lastfm\"}",
+      "{\"op\":\"load\",\"id\":1,\"name\":\"m\"}",
+  };
+  for (const char* line : bad) {
+    auto parsed = server::ParseRequest(line);
+    ASSERT_FALSE(parsed.ok()) << line;
+    EXPECT_EQ(parsed.status().code(), util::StatusCode::kInvalidArgument)
+        << line;
+  }
+}
+
+/// A raw TCP socket the timeout tests drive byte-by-byte (Client always
+/// writes complete lines, which is exactly what these tests must not do).
+int RawConnect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  AGMDP_CHECK_MSG(fd >= 0, "socket() failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  AGMDP_CHECK_MSG(
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+      "connect() failed");
+  return fd;
+}
+
+/// Reads until EOF and returns everything the server sent.
+std::string DrainSocket(int fd) {
+  std::string all;
+  char buf[4096];
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n <= 0) break;
+    all.append(buf, static_cast<size_t>(n));
+  }
+  return all;
+}
+
+TEST(ServerTcpTest, SlowLorisClientIsReapedWithADeadline) {
+  server::ServerOptions options = TestServerOptions();
+  options.read_timeout_ms = 200;
+  options.idle_timeout_ms = 0;  // isolate the read deadline
+  auto started = server::Server::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  server::Server& daemon = *started.value();
+
+  // Start a request line and then stall forever — the slow-loris shape.
+  const int fd = RawConnect(daemon.port());
+  const char* partial = "{\"op\":\"stats\",";
+  ASSERT_GT(::send(fd, partial, std::strlen(partial), MSG_NOSIGNAL), 0);
+  const std::string answer = DrainSocket(fd);  // returns on server close
+  ::close(fd);
+
+  // The connection was closed with a typed DEADLINE_EXCEEDED response,
+  // not silently, and the reap is visible in the stats.
+  EXPECT_NE(answer.find("DeadlineExceeded"), std::string::npos) << answer;
+  EXPECT_EQ(daemon.Stats().reaped_deadline, 1u);
+  EXPECT_EQ(daemon.Stats().reaped_idle, 0u);
+
+  // A well-behaved client on the same daemon is unaffected.
+  auto client = server::Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok());
+  server::Request stats;
+  stats.op = server::RequestOp::kStats;
+  stats.id = 1;
+  EXPECT_TRUE(client.value().Call(stats).ok());
+
+  daemon.Stop();
+  daemon.Wait();
+}
+
+TEST(ServerTcpTest, IdleConnectionIsReaped) {
+  server::ServerOptions options = TestServerOptions();
+  options.read_timeout_ms = 0;
+  options.idle_timeout_ms = 200;
+  auto started = server::Server::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  server::Server& daemon = *started.value();
+
+  const int fd = RawConnect(daemon.port());  // connect, then say nothing
+  const std::string answer = DrainSocket(fd);
+  ::close(fd);
+  EXPECT_NE(answer.find("DeadlineExceeded"), std::string::npos) << answer;
+  EXPECT_EQ(daemon.Stats().reaped_idle, 1u);
+
+  daemon.Stop();
+  daemon.Wait();
+}
+
+std::string RegistryTempPath(const std::string& name) {
+  const std::string path = ::testing::TempDir() + "server_registry_" + name;
+  std::remove(path.c_str());
+  return path;
+}
+
+TEST(ServerTest, RegistryResolvedLoadMatchesTheFileOracle) {
+  const std::string registry_path = RegistryTempPath("resolve");
+  {
+    // Register the release offline, the way an operator would.
+    auto reg =
+        registry::ArtifactRegistry::Open(registry_path, {});
+    ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+    ASSERT_TRUE(reg.value()->Put("petster", "m", FittedArtifact(5)).ok());
+  }
+  server::ServerOptions options = TestServerOptions();
+  options.registry_path = registry_path;
+  auto started = server::Server::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  server::Server& daemon = *started.value();
+
+  // Loading by (dataset, name) needs no artifact file anywhere near the
+  // server, and serving from it is bitwise the engine oracle.
+  server::Request load;
+  load.op = server::RequestOp::kLoad;
+  load.id = 1;
+  load.tenant = "alice";
+  load.name = "m";
+  load.dataset = "petster";
+  ASSERT_TRUE(daemon.Handle(load).status.ok());
+
+  server::Request sample;
+  sample.op = server::RequestOp::kSample;
+  sample.id = 2;
+  sample.tenant = "alice";
+  sample.name = "m";
+  sample.seed = 91;
+  sample.count = 2;
+  const server::Response response = daemon.Handle(sample);
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  const std::vector<uint64_t> oracle = OracleChecksums(5, 91, 0, 2);
+  ASSERT_EQ(response.graphs.size(), 2u);
+  EXPECT_EQ(response.graphs[0].checksum, oracle[0]);
+  EXPECT_EQ(response.graphs[1].checksum, oracle[1]);
+
+  // An unregistered name is NotFound; on a daemon with no registry the
+  // same request is a typed precondition failure.
+  load.id = 3;
+  load.name = "ghost";
+  load.dataset = "petster";
+  EXPECT_EQ(daemon.Handle(load).status.code(),
+            util::StatusCode::kNotFound);
+  daemon.Stop();
+  daemon.Wait();
+  std::remove(registry_path.c_str());
+
+  auto bare = server::Server::Start(TestServerOptions());
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(bare.value()->Handle(load).status.code(),
+            util::StatusCode::kFailedPrecondition);
+  bare.value()->Stop();
+  bare.value()->Wait();
+}
+
+TEST(ServerTest, RestartedDaemonStillEnforcesTenantBudgets) {
+  const std::string registry_path = RegistryTempPath("restart");
+  const double eps = FittedArtifact(5).epsilon_spent;
+  server::ServerOptions options = TestServerOptions();
+  options.registry_path = registry_path;
+  options.default_tenant_budget = 1.5 * eps;
+
+  auto load = [](server::Server& daemon, const std::string& name,
+                 uint64_t seed) {
+    server::Request request;
+    request.op = server::RequestOp::kLoad;
+    request.id = 1;
+    request.tenant = "alice";
+    request.name = name;
+    request.artifact = ArtifactFile(seed);
+    return daemon.Handle(request).status;
+  };
+
+  {
+    auto first = server::Server::Start(options);
+    ASSERT_TRUE(first.ok()) << first.status().ToString();
+    ASSERT_TRUE(load(*first.value(), "r1", 5).ok());
+    EXPECT_NEAR(first.value()->ledger().Spent("alice"), eps, 1e-9);
+    first.value()->Stop();
+    first.value()->Wait();
+  }
+
+  // A fresh process with a memory-only ledger would let alice pay for r2
+  // again from zero. The registry-backed one must not.
+  auto second = server::Server::Start(options);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_NEAR(second.value()->ledger().Spent("alice"), eps, 1e-9)
+      << "durable charge lost across restart";
+  const util::Status overdraw = load(*second.value(), "r2", 11);
+  ASSERT_FALSE(overdraw.ok());
+  EXPECT_EQ(overdraw.code(), util::StatusCode::kResourceExhausted)
+      << overdraw.ToString();
+  // The release she already paid for stays free, even under a new name.
+  EXPECT_TRUE(load(*second.value(), "r1-again", 5).ok());
+  EXPECT_NEAR(second.value()->ledger().Spent("alice"), eps, 1e-9);
+  second.value()->Stop();
+  second.value()->Wait();
+  std::remove(registry_path.c_str());
+}
+
+TEST(ServerTcpTest, DrainFlushesQueuedResponsesAndCheckpoints) {
+  const std::string registry_path = RegistryTempPath("drain");
+  server::ServerOptions options = TestServerOptions();
+  options.registry_path = registry_path;
+  auto started = server::Server::Start(options);
+  ASSERT_TRUE(started.ok()) << started.status().ToString();
+  std::unique_ptr<server::Server> owned = std::move(started).value();
+  server::Server& daemon = *owned;
+
+  auto client = server::Client::Connect("127.0.0.1", daemon.port());
+  ASSERT_TRUE(client.ok());
+  server::Request load;
+  load.op = server::RequestOp::kLoad;
+  load.id = 1;
+  load.tenant = "alice";
+  load.name = "m";
+  load.artifact = ArtifactFile(5);
+  ASSERT_TRUE(client.value().Call(load).ok());
+
+  // Issue a sample from a second thread, then drain: in-flight work must
+  // finish and its response must flush over the half-closed connection.
+  server::Request sample;
+  sample.op = server::RequestOp::kSample;
+  sample.id = 2;
+  sample.tenant = "alice";
+  sample.name = "m";
+  sample.seed = 5;
+  util::Status transport = util::Status::Internal("not run");
+  util::Status answer = util::Status::Internal("not run");
+  std::thread caller([&] {
+    auto response = client.value().Call(sample);
+    transport = response.status();
+    if (response.ok()) answer = response.value().status;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  daemon.Drain();
+  caller.join();
+  ASSERT_TRUE(transport.ok()) << transport.ToString();
+  EXPECT_TRUE(answer.ok()) << answer.ToString();
+  daemon.Wait();
+  owned.reset();  // releases the registry's flock
+
+  // Wait() checkpointed the registry: reopening replays exactly one
+  // checkpoint record carrying alice's charge.
+  auto reg = registry::ArtifactRegistry::Open(registry_path, {});
+  ASSERT_TRUE(reg.ok()) << reg.status().ToString();
+  EXPECT_EQ(reg.value()->Stats().recovered_records, 1u);
+  ASSERT_EQ(reg.value()->TenantCharges().size(), 1u);
+  EXPECT_EQ(reg.value()->TenantCharges()[0].tenant, "alice");
+  std::remove(registry_path.c_str());
 }
 
 }  // namespace

@@ -49,19 +49,45 @@
 //   serve      [--port=0] [--host=127.0.0.1] [--workers=2]
 //              [--engine-threads=1] [--queue=64] [--cache-mb=256]
 //              [--tenant-budget=EPS] [--budgets=alice:1.5,bob:0.7]
-//              [--no-batching] [--port-file=FILE]
+//              [--no-batching] [--port-file=FILE] [--registry=FILE]
+//              [--dataset-cap=EPS] [--dataset-caps=lastfm:2.0]
+//              [--no-registry-fsync] [--read-timeout-ms=30000]
+//              [--idle-timeout-ms=300000] [--write-timeout-ms=30000]
 //              Run the multi-tenant sampling daemon (src/server): engines
 //              behind a byte-budgeted LRU cache, per-tenant epsilon
 //              ledger, bounded admission queue, batched SampleMany
 //              serving. --port=0 picks an ephemeral port; --port-file
-//              writes the bound port for scripts. Blocks until a client
-//              sends the shutdown op.
+//              writes the bound port for scripts. With --registry every
+//              tenant charge is journaled durably before the load is
+//              acknowledged and the ledger is rebuilt from the journal on
+//              restart; clients can then load by --dataset/--name instead
+//              of a file path. The timeout flags bound slow or idle
+//              connections (slow-loris defense). Blocks until a client
+//              sends the shutdown op; SIGTERM/SIGINT drain gracefully
+//              (stop accepting, flush queued responses, checkpoint the
+//              registry).
 //   client     --port=P --op=load|sample|pin|unpin|unload|stats|shutdown
 //              [--host=127.0.0.1] [--tenant=T] [--name=M] [--artifact=F]
-//              [--samples=N] [--seed=1] [--sequence=0] [--refine_iters=-1]
-//              [--out=PREFIX]
+//              [--dataset=D] [--samples=N] [--seed=1] [--sequence=0]
+//              [--refine_iters=-1] [--out=PREFIX] [--timeout-ms=30000]
+//              [--retries=1]
 //              One request against a running daemon; prints the response
 //              and exits 0 on success, 1 when the server answers an error.
+//              --dataset makes `load` resolve (dataset, name) from the
+//              daemon's registry instead of reading --artifact. All ops
+//              are idempotent, so --retries=N>1 turns transport failures
+//              (Unavailable / DeadlineExceeded) into jittered-backoff
+//              reconnect attempts.
+//   registry   agmdp registry <put|list|show|gc|checkpoint>
+//              --registry=FILE [--artifact=F --dataset=D --name=M]
+//              [--dataset-cap=EPS] [--dataset-caps=lastfm:2.0]
+//              Operate on the durable artifact registry offline: `put`
+//              registers a fitted artifact under (dataset, name) and
+//              charges its epsilon against the dataset's lifetime cap
+//              (idempotent per release key), `list` prints artifacts and
+//              per-dataset budget posture, `show` prints one artifact's
+//              JSON, `gc` drops an artifact (the charge remains — privacy
+//              loss is not refundable), `checkpoint` compacts the journal.
 //   convert    agmdp convert <text> <bin.agmbin>   (or --in= / --out=)
 //              Streaming text -> binary container conversion (constant
 //              heap in the edge count; see graph/graph_container.h).
@@ -85,12 +111,18 @@
 // Exit codes: 0 success, 1 runtime failure (a fit/sample/serve step
 // returned an error), 2 usage error (unknown subcommand, malformed or
 // out-of-range flag value, unreadable input named on the command line).
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
+#include <cerrno>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <limits>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -105,6 +137,8 @@
 #include "src/graph/paths.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
+#include "src/registry/artifact_registry.h"
+#include "src/util/fault_injector.h"
 #include "src/server/client.h"
 #include "src/server/server.h"
 #include "src/stats/joint_degree.h"
@@ -168,6 +202,10 @@ const std::vector<SubcommandDoc>& Subcommands() {
        "agmdp client --port=7411 --op=sample --name=m --samples=4 "
        "--out=syn",
        "one request against a running daemon"},
+      {"registry",
+       "agmdp registry put --registry=spend.reg "
+       "--artifact=release.artifact.json --dataset=lastfm --name=m",
+       "inspect or mutate the durable artifact registry offline"},
       {"convert", "agmdp convert data data.agmbin",
        "streaming text -> checksummed binary container conversion"},
       {"info", "agmdp info data.agmbin",
@@ -604,26 +642,149 @@ int CmdSweep(const util::Flags& flags) {
   return 0;
 }
 
-/// Parses --budgets=alice:1.5,bob:0.7 into (tenant, epsilon) pairs.
-util::Result<std::vector<std::pair<std::string, double>>> ParseBudgets(
-    const util::Flags& flags) {
-  std::vector<std::pair<std::string, double>> budgets;
-  for (const std::string& entry : flags.GetStringList("budgets", {})) {
+/// Parses --<flag>=alice:1.5,bob:0.7 into (name, epsilon) pairs — used for
+/// per-tenant budgets and per-dataset lifetime caps alike.
+util::Result<std::vector<std::pair<std::string, double>>> ParseNamedEpsilons(
+    const util::Flags& flags, const std::string& flag_name) {
+  std::vector<std::pair<std::string, double>> pairs;
+  for (const std::string& entry : flags.GetStringList(flag_name, {})) {
     const size_t colon = entry.find(':');
     if (colon == std::string::npos || colon == 0) {
       return util::Status::InvalidArgument(
-          "--budgets entry '" + entry + "' is not TENANT:EPSILON");
+          "--" + flag_name + " entry '" + entry + "' is not NAME:EPSILON");
     }
     const std::string text = entry.substr(colon + 1);
     char* end = nullptr;
     const double epsilon = std::strtod(text.c_str(), &end);
     if (text.empty() || end == nullptr || *end != '\0' || epsilon <= 0.0) {
       return util::Status::InvalidArgument(
-          "--budgets entry '" + entry + "' needs a positive epsilon");
+          "--" + flag_name + " entry '" + entry +
+          "' needs a positive epsilon");
     }
-    budgets.emplace_back(entry.substr(0, colon), epsilon);
+    pairs.emplace_back(entry.substr(0, colon), epsilon);
   }
-  return budgets;
+  return pairs;
+}
+
+/// The registry cap flags shared by `serve --registry` and
+/// `agmdp registry`: --dataset-cap (the default) and --dataset-caps
+/// (per-dataset overrides).
+util::Result<registry::RegistryOptions> RegistryOptionsFromFlags(
+    const util::Flags& flags) {
+  registry::RegistryOptions options;
+  auto cap = flags.GetCheckedDouble("dataset-cap", 0.0);
+  if (!cap.ok()) return cap.status();
+  options.default_dataset_cap = cap.value();
+  auto caps = ParseNamedEpsilons(flags, "dataset-caps");
+  if (!caps.ok()) return caps.status();
+  options.dataset_caps = std::move(caps).value();
+  options.fsync = !flags.GetBool("no-registry-fsync", false);
+  return options;
+}
+
+int CmdRegistry(const util::Flags& flags) {
+  if (flags.positional().empty()) {
+    return FailUsage(util::Status::InvalidArgument(
+        "usage: agmdp registry <put|list|show|gc|checkpoint> "
+        "--registry=FILE"));
+  }
+  const std::string action = flags.positional().front();
+  const std::string path = flags.GetString("registry", "");
+  if (path.empty()) {
+    return FailUsage(
+        util::Status::InvalidArgument("registry needs --registry=FILE"));
+  }
+  auto options = RegistryOptionsFromFlags(flags);
+  if (!options.ok()) return FailUsage(options.status());
+  auto opened = registry::ArtifactRegistry::Open(path, options.value());
+  if (!opened.ok()) return Fail(opened.status());
+  registry::ArtifactRegistry& reg = *opened.value();
+
+  const std::string dataset = flags.GetString("dataset", "");
+  const std::string name = flags.GetString("name", "");
+  if (action == "put") {
+    if (dataset.empty() || name.empty()) {
+      return FailUsage(util::Status::InvalidArgument(
+          "registry put needs --dataset=D and --name=M"));
+    }
+    auto artifact = pipeline::ReadReleaseArtifact(
+        flags.GetString("artifact", "release.artifact.json"));
+    if (!artifact.ok()) return FailUsage(artifact.status());
+    if (auto st = reg.Put(dataset, name, artifact.value()); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("registered %s/%s (eps=%.4f); dataset spent %.4f",
+                dataset.c_str(), name.c_str(),
+                artifact.value().epsilon_spent, reg.Spent(dataset));
+    const double cap = reg.Cap(dataset);
+    if (cap > 0.0) std::printf(" / cap %.4f", cap);
+    std::printf("\n");
+    return 0;
+  }
+  if (action == "list") {
+    for (const registry::DatasetRow& row : reg.Datasets()) {
+      std::printf("dataset %-16s spent=%.4f", row.dataset.c_str(), row.spent);
+      if (row.cap > 0.0) std::printf(" cap=%.4f", row.cap);
+      std::printf(" artifacts=%llu\n",
+                  static_cast<unsigned long long>(row.artifacts));
+    }
+    for (const registry::ArtifactRow& row : reg.List()) {
+      std::printf("%-16s %-16s model=%-10s eps=%.4f key=%llu\n",
+                  row.dataset.c_str(), row.name.c_str(), row.model.c_str(),
+                  row.epsilon,
+                  static_cast<unsigned long long>(row.release_key));
+    }
+    const registry::RegistryStats stats = reg.Stats();
+    std::printf("journal: %llu bytes, %llu records replayed",
+                static_cast<unsigned long long>(stats.journal_bytes),
+                static_cast<unsigned long long>(stats.recovered_records));
+    if (stats.discarded_tail_bytes > 0) {
+      std::printf(" (%llu torn tail bytes discarded)",
+                  static_cast<unsigned long long>(stats.discarded_tail_bytes));
+    }
+    std::printf("\n");
+    return 0;
+  }
+  if (action == "show") {
+    if (dataset.empty() || name.empty()) {
+      return FailUsage(util::Status::InvalidArgument(
+          "registry show needs --dataset=D and --name=M"));
+    }
+    auto artifact = reg.Resolve(dataset, name);
+    if (!artifact.ok()) return Fail(artifact.status());
+    std::printf("%s\n",
+                pipeline::ReleaseArtifactToJson(artifact.value()).c_str());
+    return 0;
+  }
+  if (action == "gc") {
+    if (dataset.empty() || name.empty()) {
+      return FailUsage(util::Status::InvalidArgument(
+          "registry gc needs --dataset=D and --name=M"));
+    }
+    if (auto st = reg.Gc(dataset, name); !st.ok()) return Fail(st);
+    std::printf("dropped %s/%s (its epsilon charge remains: spent %.4f)\n",
+                dataset.c_str(), name.c_str(), reg.Spent(dataset));
+    return 0;
+  }
+  if (action == "checkpoint") {
+    if (auto st = reg.Checkpoint(); !st.ok()) return Fail(st);
+    std::printf("checkpointed %s (%llu bytes)\n", path.c_str(),
+                static_cast<unsigned long long>(reg.Stats().journal_bytes));
+    return 0;
+  }
+  return FailUsage(util::Status::InvalidArgument(
+      "registry action '" + action +
+      "' is not one of put|list|show|gc|checkpoint"));
+}
+
+/// Self-pipe for the serve signal handlers: sigaction handlers may only
+/// call async-signal-safe functions, so the handler writes one byte and a
+/// watcher thread does the actual Drain().
+int g_signal_pipe[2] = {-1, -1};
+
+extern "C" void ServeSignalHandler(int) {
+  const char byte = 1;
+  [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
 }
 
 int CmdServe(const util::Flags& flags) {
@@ -655,19 +816,37 @@ int CmdServe(const util::Flags& flags) {
   auto tenant_budget = flags.GetCheckedDouble("tenant-budget", 0.0);
   if (!tenant_budget.ok()) return FailUsage(tenant_budget.status());
   options.default_tenant_budget = tenant_budget.value();
-  auto budgets = ParseBudgets(flags);
+  auto budgets = ParseNamedEpsilons(flags, "budgets");
   if (!budgets.ok()) return FailUsage(budgets.status());
   options.tenant_budgets = std::move(budgets).value();
   options.batching = !flags.GetBool("no-batching", false);
+
+  options.registry_path = flags.GetString("registry", "");
+  auto registry_options = RegistryOptionsFromFlags(flags);
+  if (!registry_options.ok()) return FailUsage(registry_options.status());
+  options.default_dataset_cap = registry_options.value().default_dataset_cap;
+  options.dataset_caps = std::move(registry_options.value().dataset_caps);
+  options.registry_fsync = registry_options.value().fsync;
+  auto read_timeout = flags.GetCheckedInt("read-timeout-ms", 30'000);
+  if (!read_timeout.ok()) return FailUsage(read_timeout.status());
+  options.read_timeout_ms = static_cast<int>(read_timeout.value());
+  auto idle_timeout = flags.GetCheckedInt("idle-timeout-ms", 300'000);
+  if (!idle_timeout.ok()) return FailUsage(idle_timeout.status());
+  options.idle_timeout_ms = static_cast<int>(idle_timeout.value());
+  auto write_timeout = flags.GetCheckedInt("write-timeout-ms", 30'000);
+  if (!write_timeout.ok()) return FailUsage(write_timeout.status());
+  options.write_timeout_ms = static_cast<int>(write_timeout.value());
 
   auto started = server::Server::Start(options);
   if (!started.ok()) return Fail(started.status());
   server::Server& daemon = *started.value();
   std::printf("agmdp serve: listening on %s:%d (%d workers, queue %zu, "
-              "cache %llu MiB)\n",
+              "cache %llu MiB%s%s)\n",
               options.host.c_str(), daemon.port(), options.worker_threads,
               options.max_queue,
-              static_cast<unsigned long long>(options.cache_bytes >> 20));
+              static_cast<unsigned long long>(options.cache_bytes >> 20),
+              options.registry_path.empty() ? "" : ", registry ",
+              options.registry_path.c_str());
   std::fflush(stdout);
   if (flags.Has("port-file")) {
     const std::string path = flags.GetString("port-file", "");
@@ -678,7 +857,40 @@ int CmdServe(const util::Flags& flags) {
     std::fprintf(f, "%d\n", daemon.port());
     std::fclose(f);
   }
+
+  // SIGTERM/SIGINT -> graceful drain: finish queued work, flush responses,
+  // checkpoint the registry. The handler only writes to the self-pipe; the
+  // watcher thread calls Drain(). A second signal falls through to the
+  // default disposition (SA_RESETHAND), so a stuck drain can still be
+  // killed the normal way.
+  std::atomic<bool> serving{true};
+  std::thread signal_watcher;
+  if (::pipe(g_signal_pipe) == 0) {
+    struct sigaction action = {};
+    action.sa_handler = ServeSignalHandler;
+    ::sigemptyset(&action.sa_mask);
+    action.sa_flags = SA_RESETHAND;
+    ::sigaction(SIGTERM, &action, nullptr);
+    ::sigaction(SIGINT, &action, nullptr);
+    signal_watcher = std::thread([&daemon, &serving] {
+      char byte = 0;
+      while (::read(g_signal_pipe[0], &byte, 1) < 0 && errno == EINTR) {
+      }
+      if (serving.load()) daemon.Drain();
+    });
+  }
+
   daemon.Wait();
+  serving.store(false);
+  if (signal_watcher.joinable()) {
+    // Unblock the watcher in case the daemon stopped via the shutdown op
+    // rather than a signal.
+    const char byte = 0;
+    [[maybe_unused]] const ssize_t n = ::write(g_signal_pipe[1], &byte, 1);
+    signal_watcher.join();
+    ::close(g_signal_pipe[0]);
+    ::close(g_signal_pipe[1]);
+  }
   const server::ServerStats stats = daemon.Stats();
   const server::EngineCacheStats cache = daemon.CacheStats();
   std::printf("agmdp serve: shut down after %llu requests "
@@ -691,6 +903,15 @@ int CmdServe(const util::Flags& flags) {
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses),
               static_cast<unsigned long long>(cache.evictions));
+  if (daemon.registry() != nullptr) {
+    const registry::RegistryStats rstats = daemon.registry()->Stats();
+    std::printf("agmdp serve: registry %s holds %llu artifacts, "
+                "%llu tenant charges (%llu journal appends this run)\n",
+                options.registry_path.c_str(),
+                static_cast<unsigned long long>(rstats.artifacts),
+                static_cast<unsigned long long>(rstats.tenant_charges),
+                static_cast<unsigned long long>(rstats.appends));
+  }
   return 0;
 }
 
@@ -725,8 +946,14 @@ int CmdClient(const util::Flags& flags) {
   request.id = 1;
   request.tenant = flags.GetString("tenant", "cli");
   request.name = flags.GetString("name", "default");
+  request.dataset = flags.GetString("dataset", "");
+  // With --dataset the load resolves from the daemon's registry, so the
+  // artifact path must stay empty (a load wants exactly one of the two);
+  // without it the default matches fit's --artifact-out.
   request.artifact =
-      flags.GetString("artifact", "release.artifact.json");
+      request.dataset.empty()
+          ? flags.GetString("artifact", "release.artifact.json")
+          : flags.GetString("artifact", "");
   auto seed = flags.GetCheckedInt("seed", 1);
   if (!seed.ok()) return FailUsage(seed.status());
   request.seed = static_cast<uint64_t>(seed.value());
@@ -745,10 +972,21 @@ int CmdClient(const util::Flags& flags) {
   request.refine_iterations = static_cast<int>(refine.value());
   request.out = flags.GetString("out", "");
 
-  auto client = server::Client::Connect(flags.GetString("host", "127.0.0.1"),
-                                        static_cast<int>(port.value()));
-  if (!client.ok()) return Fail(client.status());
-  auto response = client.value().Call(request);
+  auto timeout_ms = flags.GetCheckedInt("timeout-ms", 30'000);
+  if (!timeout_ms.ok()) return FailUsage(timeout_ms.status());
+  auto retries = flags.GetCheckedInt("retries", 1);
+  if (!retries.ok()) return FailUsage(retries.status());
+  if (retries.value() < 1) {
+    return FailUsage(
+        util::Status::InvalidArgument("--retries must be >= 1"));
+  }
+  server::ClientOptions client_options;
+  client_options.io_timeout_ms = static_cast<int>(timeout_ms.value());
+  server::RetryPolicy retry_policy;
+  retry_policy.max_attempts = static_cast<int>(retries.value());
+  auto response = server::CallWithRetry(
+      flags.GetString("host", "127.0.0.1"), static_cast<int>(port.value()),
+      request, client_options, retry_policy);
   if (!response.ok()) return Fail(response.status());
   if (!response.value().status.ok()) return Fail(response.value().status);
   for (const server::GraphSummary& g : response.value().graphs) {
@@ -863,6 +1101,10 @@ int CmdExport(const util::Flags& flags) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Touching the injector arms any points named in $AGMDP_FAULTS; without
+  // this the disarmed fast path would never read the spec (crash smokes
+  // arm "registry.*.fsync=1:exit" against a live daemon this way).
+  agmdp::util::FaultInjector::Global();
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   util::Flags flags = util::Flags::Parse(argc - 1, argv + 1);
@@ -879,6 +1121,7 @@ int main(int argc, char** argv) {
   if (command == "sweep") return CmdSweep(flags);
   if (command == "serve") return CmdServe(flags);
   if (command == "client") return CmdClient(flags);
+  if (command == "registry") return CmdRegistry(flags);
   if (command == "convert") return CmdConvert(flags);
   if (command == "info") return CmdInfo(flags);
   if (command == "export") return CmdExport(flags);

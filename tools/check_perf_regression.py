@@ -33,6 +33,10 @@ REQUIRED_TRUE_FLAGS = [
     # Binary container (PR 8): the mmap-backed snapshot must evaluate
     # bitwise-identically to the in-RAM snapshot at 1/2/4 threads.
     "storage_deterministic",
+    # Artifact registry (PR 9): identical journaled histories must compact
+    # to byte-identical files and recover identical spend — the contract
+    # crash recovery depends on.
+    "registry_deterministic",
 ]
 REQUIRED_KEYS = [
     "hardware_concurrency",
@@ -46,6 +50,9 @@ REQUIRED_KEYS = [
     # Binary container (PR 8): text load vs convert vs verified/unverified
     # mmap open on the same graph.
     "storage_seconds",
+    # Artifact registry (PR 9): journaled puts (fsync on/off), recovery
+    # replay at Open, checkpoint compaction, resolves.
+    "registry_seconds",
 ]
 
 # The headline properties, gated machine-independently: each ratio compares
