@@ -1004,6 +1004,74 @@ int main(int argc, char** argv) {
     wipe(reg_path_b);
   }
 
+  // ------------------------------------------------------------ mechanisms
+  // The non-AGM release mechanisms (PR 10) through the same fit-once /
+  // sample-many contract: fit cost on the bench input, an 8-sample batch
+  // through the engine, and the determinism flag — refitting from the same
+  // substream must reproduce the artifact byte for byte, and a second
+  // engine at a different pool size must serve bitwise-identical samples.
+  {
+    json.Key("mechanisms_seconds").BeginObject();
+    auto entry = [&](const std::string& name, double seconds) {
+      json.Key(name).Value(seconds);
+      std::printf("%-28s %10.3f ms\n", ("mechanisms/" + name).c_str(),
+                  1e3 * seconds);
+    };
+    bool mechanisms_deterministic = true;
+    constexpr int kMechBatch = 8;
+    for (const char* mechanism : {"community_dp", "kanon_baseline"}) {
+      pipeline::PipelineConfig config;
+      config.mechanism = mechanism;
+      config.epsilon = 1.0;
+      pipeline::ReleaseArtifact artifact;
+      entry(std::string(mechanism) + "_fit", TimeBest(trials, [&] {
+        util::Rng rng = util::Rng::Substream(2026, 8);
+        auto fit = pipeline::FitReleaseArtifact(input, config, rng);
+        AGMDP_CHECK_MSG(fit.ok(), fit.status().ToString().c_str());
+        artifact = std::move(fit).value();
+      }));
+      auto engine = pipeline::ReleaseEngine::Create(artifact);
+      AGMDP_CHECK_MSG(engine.ok(), engine.status().ToString().c_str());
+      pipeline::SampleRequest base;
+      base.seed = 7;
+      std::vector<graph::AttributedGraph> batch;
+      entry(std::string(mechanism) + "_sample_many_8x",
+            TimeBest(trials, [&] {
+              auto graphs = engine.value()->SampleMany(kMechBatch, base);
+              AGMDP_CHECK_MSG(graphs.ok(), graphs.status().ToString().c_str());
+              batch = std::move(graphs).value();
+            }));
+
+      util::Rng rng = util::Rng::Substream(2026, 8);
+      auto refit = pipeline::FitReleaseArtifact(input, config, rng);
+      AGMDP_CHECK_MSG(refit.ok(), refit.status().ToString().c_str());
+      mechanisms_deterministic =
+          mechanisms_deterministic &&
+          pipeline::ReleaseArtifactToJson(artifact) ==
+              pipeline::ReleaseArtifactToJson(refit.value());
+      pipeline::EngineOptions pooled;
+      pooled.threads = 2;
+      auto other = pipeline::ReleaseEngine::Create(refit.value(), pooled);
+      AGMDP_CHECK_MSG(other.ok(), other.status().ToString().c_str());
+      for (int i = 0; i < kMechBatch; ++i) {
+        pipeline::SampleRequest request = base;
+        request.sequence = base.sequence + static_cast<uint64_t>(i);
+        auto sample = other.value()->Sample(request);
+        AGMDP_CHECK_MSG(sample.ok(), sample.status().ToString().c_str());
+        mechanisms_deterministic = mechanisms_deterministic &&
+                                   SameGraph(batch[static_cast<size_t>(i)],
+                                             sample.value());
+      }
+    }
+    json.EndObject();
+    json.Key("mechanisms_deterministic").Value(mechanisms_deterministic);
+    std::printf("mechanisms                    %10s (deterministic: %s)\n", "",
+                mechanisms_deterministic ? "yes" : "NO");
+    AGMDP_CHECK_MSG(mechanisms_deterministic,
+                    "a release mechanism refit or resample diverged from the "
+                    "substream contract");
+  }
+
   json.EndObject();
   FILE* f = std::fopen(out_path.c_str(), "w");
   AGMDP_CHECK_MSG(f != nullptr, "cannot open output file");

@@ -7,6 +7,7 @@
 
 #include "src/datasets/datasets.h"
 #include "src/graph/csr.h"
+#include "src/mechanisms/release_mechanism.h"
 #include "src/graph/graph_source.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
@@ -23,6 +24,17 @@ util::Status ValidateSpec(const std::vector<SweepInput>& inputs,
                           const SweepSpec& spec) {
   if (inputs.empty()) {
     return util::Status::InvalidArgument("sweep needs at least one input");
+  }
+  if (spec.mechanisms.empty()) {
+    return util::Status::InvalidArgument(
+        "sweep needs at least one mechanism");
+  }
+  for (const std::string& mechanism : spec.mechanisms) {
+    if (mechanisms::FindMechanism(mechanism) == nullptr) {
+      return util::Status::InvalidArgument(
+          "unknown mechanism '" + mechanism +
+          "'; registered: " + mechanisms::MechanismNameList());
+    }
   }
   if (spec.models.empty()) {
     return util::Status::InvalidArgument("sweep needs at least one model");
@@ -115,7 +127,10 @@ void RunCell(const SweepInput& input, const ReferenceProfile& reference,
              const SweepSpec& spec, uint64_t cell_index, SweepCell* cell) {
   pipeline::PipelineConfig config;
   config.epsilon = cell->epsilon;
-  config.model = cell->model;
+  config.mechanism = cell->mechanism;
+  // Non-AGM mechanisms ignore the structural model; the config keeps its
+  // default there so Validate's registry check passes.
+  if (cell->mechanism == "agm") config.model = cell->model;
   config.split = spec.split;
   config.sample.threads = spec.sampler_threads;
   config.sample.acceptance_iterations = spec.acceptance_iterations;
@@ -184,22 +199,32 @@ util::Result<SweepResult> RunSweep(const std::vector<SweepInput>& inputs,
     }
   }
 
-  // Lay out the grid (datasets, models, epsilons) up front; cell index ==
-  // position in this vector, which fixes the RNG substream family and the
-  // output order independent of scheduling.
+  // Lay out the grid (datasets, mechanisms × models, epsilons) up front;
+  // cell index == position in this vector, which fixes the RNG substream
+  // family and the output order independent of scheduling. The "agm"
+  // mechanism expands over spec.models; other mechanisms have no
+  // structural-model axis and contribute one row. The default AGM-only
+  // spec therefore lays out exactly the pre-mechanism grid, substream
+  // indices included.
   std::vector<const SweepInput*> cell_inputs;
   std::vector<const ReferenceProfile*> cell_references;
   for (size_t i = 0; i < inputs.size(); ++i) {
-    for (const std::string& model : spec.models) {
-      for (double eps : spec.epsilons) {
-        SweepCell cell;
-        cell.dataset = inputs[i].name;
-        cell.model = model;
-        cell.epsilon = eps;
-        cell.repeats = spec.repeats;
-        result.cells.push_back(std::move(cell));
-        cell_inputs.push_back(&inputs[i]);
-        cell_references.push_back(references[i]);
+    for (const std::string& mechanism : spec.mechanisms) {
+      const std::vector<std::string> rows =
+          mechanism == "agm" ? spec.models
+                             : std::vector<std::string>{mechanism};
+      for (const std::string& model : rows) {
+        for (double eps : spec.epsilons) {
+          SweepCell cell;
+          cell.dataset = inputs[i].name;
+          cell.mechanism = mechanism;
+          cell.model = model;
+          cell.epsilon = eps;
+          cell.repeats = spec.repeats;
+          result.cells.push_back(std::move(cell));
+          cell_inputs.push_back(&inputs[i]);
+          cell_references.push_back(references[i]);
+        }
       }
     }
   }
@@ -272,11 +297,68 @@ util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec) {
   return RunSweep(inputs, spec);
 }
 
+namespace {
+
+/// The shared ranking composite: the mean of the four headline utility
+/// distances, lower is better. Metrics are looked up by Flatten() name so
+/// every mechanism is scored on exactly the same yardstick.
+constexpr const char* kUtilityScoreMetrics[] = {
+    "degree_ks", "degree_hellinger", "clustering_ccdf_distance",
+    "theta_f_hellinger"};
+
+struct MechanismRank {
+  std::string mechanism;
+  int cells = 0;
+  double utility_score = 0.0;
+};
+
+std::vector<MechanismRank> RankMechanisms(const SweepResult& result) {
+  std::vector<MechanismRank> ranks;
+  for (const std::string& mechanism : result.spec.mechanisms) {
+    MechanismRank rank;
+    rank.mechanism = mechanism;
+    double score_sum = 0.0;
+    for (const SweepCell& cell : result.cells) {
+      if (cell.mechanism != mechanism || !cell.error.empty()) continue;
+      double cell_sum = 0.0;
+      int found = 0;
+      for (const char* name : kUtilityScoreMetrics) {
+        for (const MetricStats& metric : cell.metrics) {
+          if (metric.name == name) {
+            cell_sum += metric.mean;
+            ++found;
+            break;
+          }
+        }
+      }
+      if (found == 0) continue;
+      score_sum += cell_sum / found;
+      ++rank.cells;
+    }
+    if (rank.cells > 0) rank.utility_score = score_sum / rank.cells;
+    ranks.push_back(std::move(rank));
+  }
+  // Best (lowest composite) first; mechanisms with no scored cells sink to
+  // the bottom. Name breaks ties so the order is a pure function of the
+  // result.
+  std::sort(ranks.begin(), ranks.end(),
+            [](const MechanismRank& a, const MechanismRank& b) {
+              if ((a.cells > 0) != (b.cells > 0)) return a.cells > 0;
+              if (a.utility_score != b.utility_score) {
+                return a.utility_score < b.utility_score;
+              }
+              return a.mechanism < b.mechanism;
+            });
+  return ranks;
+}
+
+}  // namespace
+
 std::string SweepResultToJson(const SweepResult& result,
                               bool include_timing) {
   util::JsonWriter json;
   json.BeginObject();
-  json.Key("schema").Value("agmdp.sweep.v3");
+  json.Key("schema").Value("agmdp.sweep.v4");
   json.Key("seed").Value(result.spec.seed);
   json.Key("repeats").Value(result.spec.repeats);
   json.Key("dataset_scale").Value(result.spec.dataset_scale);
@@ -286,6 +368,11 @@ std::string SweepResultToJson(const SweepResult& result,
   json.Key("reuse_fit").Value(result.spec.reuse_fit);
   json.Key("datasets").BeginArray();
   for (const std::string& name : result.input_names) json.Value(name);
+  json.EndArray();
+  json.Key("mechanisms").BeginArray();
+  for (const std::string& mechanism : result.spec.mechanisms) {
+    json.Value(mechanism);
+  }
   json.EndArray();
   json.Key("models").BeginArray();
   for (const std::string& model : result.spec.models) json.Value(model);
@@ -300,6 +387,7 @@ std::string SweepResultToJson(const SweepResult& result,
   for (const SweepCell& cell : result.cells) {
     json.BeginObject();
     json.Key("dataset").Value(cell.dataset);
+    json.Key("mechanism").Value(cell.mechanism);
     json.Key("model").Value(cell.model);
     json.Key("epsilon").Value(cell.epsilon);
     json.Key("repeats").Value(cell.repeats);
@@ -321,6 +409,15 @@ std::string SweepResultToJson(const SweepResult& result,
       json.EndObject();
     }
     json.EndObject();
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("mechanism_summary").BeginArray();
+  for (const MechanismRank& rank : RankMechanisms(result)) {
+    json.BeginObject();
+    json.Key("mechanism").Value(rank.mechanism);
+    json.Key("cells").Value(rank.cells);
+    json.Key("utility_score").Value(rank.utility_score);
     json.EndObject();
   }
   json.EndArray();

@@ -1,8 +1,11 @@
 // Multi-scenario sweep engine: runs the private release pipeline over a
-// (dataset × model × epsilon) grid with repeated trials per cell, evaluates
-// every release with EvaluateRelease, and aggregates per-cell mean/stddev
-// for every metric — the machinery behind the paper's Tables 2-5 /
-// Figures 1-5 experiment grids and the `agmdp sweep` subcommand.
+// (dataset × mechanism × model × epsilon) grid with repeated trials per
+// cell, evaluates every release with EvaluateRelease, and aggregates
+// per-cell mean/stddev for every metric — the machinery behind the paper's
+// Tables 2-5 / Figures 1-5 experiment grids and the `agmdp sweep`
+// subcommand. The mechanism axis expands to spec.models for "agm" and to
+// a single cell per epsilon for every other registered release mechanism,
+// so competing publication schemes rank on the same metrics in one grid.
 //
 // Determinism contract: cell (index c, repeat r) draws exclusively from
 // util::Rng::Substream(spec.seed, c * spec.repeats + r), a pure function of
@@ -37,7 +40,13 @@ struct SweepSpec {
   /// Node-count scale for the generated stand-ins (1.0 = paper size).
   double dataset_scale = 0.1;
 
-  /// Structural models by registry name.
+  /// Release mechanisms by registry name (mechanisms::FindMechanism). The
+  /// "agm" entry expands over `models`; every other mechanism contributes
+  /// one cell per (dataset, epsilon). The default grid is AGM-only, which
+  /// reproduces the pre-mechanism sweep exactly (same cells, same
+  /// substream indices).
+  std::vector<std::string> mechanisms = {"agm"};
+  /// Structural models by registry name (consulted for "agm" cells only).
   std::vector<std::string> models = {"fcl", "tricycle"};
   /// Global epsilon per release.
   std::vector<double> epsilons = {0.6931471805599453};
@@ -78,9 +87,13 @@ struct SweepInput {
   std::shared_ptr<const ReferenceProfile> reference;
 };
 
-/// \brief Aggregated result of one (dataset, model, epsilon) cell.
+/// \brief Aggregated result of one (dataset, mechanism, model, epsilon)
+/// cell.
 struct SweepCell {
   std::string dataset;
+  /// Release mechanism the cell ran under ("agm", "community_dp", ...).
+  std::string mechanism;
+  /// Structural model for "agm" cells; equals `mechanism` otherwise.
   std::string model;
   double epsilon = 0.0;
   int repeats = 0;
@@ -105,7 +118,8 @@ struct SweepResult {
   /// The spec the sweep ran under (inputs recorded by name).
   SweepSpec spec;
   std::vector<std::string> input_names;
-  /// Cells in grid order: datasets outermost, then models, then epsilons.
+  /// Cells in grid order: datasets outermost, then mechanisms (each "agm"
+  /// entry expanding over models), then epsilons.
   std::vector<SweepCell> cells;
   /// Wall-clock of the whole sweep (a timing field).
   double total_seconds = 0.0;
@@ -123,9 +137,13 @@ util::Result<SweepResult> RunSweep(const std::vector<SweepInput>& inputs,
 util::Result<SweepResult> RunSweepOnDatasets(const SweepSpec& spec);
 
 /// Serializes a sweep result as the BENCH_sweep.json document (schema
-/// "agmdp.sweep.v3"; see DESIGN.md). With `include_timing` false the
-/// timing fields (total_seconds, per-cell seconds_mean) are omitted and the
-/// document is byte-identical across runs with the same spec and inputs.
+/// "agmdp.sweep.v4"; see DESIGN.md). Includes a "mechanism_summary"
+/// ranking: per mechanism, the mean composite utility score (mean of
+/// degree_ks, degree_hellinger, clustering_ccdf_distance and
+/// theta_f_hellinger cell means; lower is better) over its successful
+/// cells, sorted best first. With `include_timing` false the timing fields
+/// (total_seconds, per-cell seconds_mean) are omitted and the document is
+/// byte-identical across runs with the same spec and inputs.
 std::string SweepResultToJson(const SweepResult& result,
                               bool include_timing = true);
 

@@ -1,0 +1,71 @@
+// Mechanism tags and the privacy-model taxonomy shared by every layer
+// that handles release artifacts. This header deliberately depends on
+// nothing outside the standard library so pipeline/, registry/, and
+// server/ can include it without a dependency cycle on src/mechanisms/.
+//
+// A mechanism tag names the publication scheme that produced a
+// ReleaseArtifact. The tag travels in the artifact JSON, is validated at
+// every read boundary (unknown tag -> typed InvalidArgument, see
+// pipeline::ValidateReleaseArtifact), and selects the serving path in
+// pipeline::ReleaseEngine::Create.
+#ifndef AGMDP_SRC_MECHANISMS_MECHANISM_TAGS_H_
+#define AGMDP_SRC_MECHANISMS_MECHANISM_TAGS_H_
+
+#include <string>
+#include <vector>
+
+namespace agmdp {
+namespace mechanisms {
+
+// The declared privacy model of a release mechanism. Edge-DP and node-DP
+// mechanisms spend epsilon through the PrivacyAccountant; syntactic
+// mechanisms (k-anonymity / t-closeness) carry an epsilon-free ledger and
+// must assert zero spend at validation.
+enum class PrivacyModel {
+  kEdgeDp,
+  kNodeDp,
+  kSyntactic,
+};
+
+inline const char* PrivacyModelName(PrivacyModel model) {
+  switch (model) {
+    case PrivacyModel::kEdgeDp:
+      return "edge_dp";
+    case PrivacyModel::kNodeDp:
+      return "node_dp";
+    case PrivacyModel::kSyntactic:
+      return "syntactic";
+  }
+  return "unknown";
+}
+
+// Canonical mechanism tags. "agm" is the paper's pipeline; the others are
+// the competing publication schemes registered in release_mechanism.cc.
+inline const std::vector<std::string>& KnownMechanismTags() {
+  static const std::vector<std::string>* tags =
+      new std::vector<std::string>{"agm", "community_dp", "kanon_baseline"};
+  return *tags;
+}
+
+inline bool IsKnownMechanismTag(const std::string& tag) {
+  for (const std::string& known : KnownMechanismTags()) {
+    if (known == tag) return true;
+  }
+  return false;
+}
+
+// "agm, community_dp, kanon_baseline" — for error messages at the
+// validation boundary.
+inline std::string KnownMechanismTagList() {
+  std::string out;
+  for (const std::string& tag : KnownMechanismTags()) {
+    if (!out.empty()) out += ", ";
+    out += tag;
+  }
+  return out;
+}
+
+}  // namespace mechanisms
+}  // namespace agmdp
+
+#endif  // AGMDP_SRC_MECHANISMS_MECHANISM_TAGS_H_

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "src/mechanisms/mechanism_tags.h"
 #include "src/pipeline/model_registry.h"
 
 namespace agmdp::pipeline {
@@ -66,6 +67,16 @@ util::Status ValidateAcceptanceKnobs(int acceptance_iterations,
 }
 
 util::Status PipelineConfig::Validate() const {
+  if (!mechanisms::IsKnownMechanismTag(mechanism)) {
+    return Invalid("unknown mechanism '" + mechanism + "' (registered: " +
+                   mechanisms::KnownMechanismTagList() + ")");
+  }
+  if (!std::isfinite(t_closeness) || t_closeness < 0.0 || t_closeness > 1.0) {
+    return Invalid("t_closeness must be in [0, 1]");
+  }
+  if (k_anonymity == 1) {
+    return Invalid("k_anonymity must be 0 (auto) or >= 2");
+  }
   const StructuralModelSpec* spec = FindStructuralModel(model);
   if (spec == nullptr) {
     return Invalid("unknown structural model '" + model +
@@ -127,6 +138,16 @@ uint64_t PipelineConfig::Fingerprint() const {
   fnv.Mix(static_cast<uint64_t>(sample.acceptance_iterations));
   fnv.Mix(sample.acceptance_tolerance);
   fnv.Mix(sample.min_acceptance);
+  // Guarded so every pre-mechanism AGM fingerprint is unchanged: the
+  // calibration substream is keyed on the fingerprint, and re-keying it
+  // would silently shift the serving bits of every stored AGM release.
+  if (mechanism != "agm") {
+    fnv.Mix(std::string("mechanism"));
+    fnv.Mix(mechanism);
+    fnv.Mix(static_cast<uint64_t>(k_anonymity));
+    fnv.Mix(t_closeness);
+    fnv.Mix(static_cast<uint64_t>(community_blocks));
+  }
   return fnv.hash();
 }
 

@@ -27,9 +27,23 @@ struct PipelineConfig {
   /// four-way when the model learns a triangle target, S-heavy three-way
   /// otherwise — Section 5 of the paper).
   dp::BudgetSplit split;
+  /// Release mechanism by tag (mechanisms::KnownMechanismTags): "agm" is
+  /// the paper's pipeline; "community_dp" and "kanon_baseline" are the
+  /// competing publication schemes in src/mechanisms/.
+  std::string mechanism = "agm";
   /// Structural model by registry name (model_registry.h): "tricycle",
-  /// "fcl", "bter", "holme_kim", "erdos_renyi".
+  /// "fcl", "bter", "holme_kim", "erdos_renyi". Only consulted by the
+  /// "agm" mechanism.
   std::string model = "tricycle";
+  /// kanon_baseline: anonymity group size; 0 selects max(2, round(2/eps)),
+  /// the "equivalent protection" heuristic.
+  uint32_t k_anonymity = 0;
+  /// kanon_baseline: t-closeness bound on the per-group attribute
+  /// distribution's total-variation distance from the global one.
+  double t_closeness = 0.2;
+  /// community_dp: number of partition blocks; 0 selects
+  /// max(2, min(64, round(sqrt(n)/8))).
+  uint32_t community_blocks = 0;
   agm::ThetaFMethod theta_f_method = agm::ThetaFMethod::kEdgeTruncation;
   /// Truncation parameter for ΘF; 0 selects the paper's n^(1/3) heuristic.
   uint32_t truncation_k = 0;

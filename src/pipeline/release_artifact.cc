@@ -102,6 +102,7 @@ ReleaseArtifact MakeReleaseArtifact(const FitResult& fit,
 ReleaseArtifact MakeReleaseArtifact(const agm::AgmParams& params,
                                     const PipelineConfig& config) {
   ReleaseArtifact artifact;
+  artifact.mechanism = config.mechanism;
   artifact.model = config.model;
   artifact.config_fingerprint = config.Fingerprint();
   artifact.params = params;
@@ -111,9 +112,133 @@ ReleaseArtifact MakeReleaseArtifact(const agm::AgmParams& params,
   return artifact;
 }
 
+namespace {
+
+// Shape/value checks of the community_dp payload: a private partition of n
+// nodes into num_blocks communities, a noised count per unordered block
+// pair, and a per-block attribute-config histogram each alias-samplable
+// (non-negative, finite, positive row sum).
+util::Status ValidateCommunityPayload(const ReleaseArtifact& artifact) {
+  const MechanismPayload& p = artifact.payload;
+  const size_t n = p.node_blocks.size();
+  const size_t blocks = p.num_blocks;
+  if (blocks == 0 || n == 0) {
+    return Invalid("community_dp payload needs num_blocks >= 1 and a "
+                   "non-empty node partition");
+  }
+  for (uint32_t block : p.node_blocks) {
+    if (block >= blocks) {
+      return Invalid("community_dp node_blocks entry out of range");
+    }
+  }
+  if (p.block_edges.size() != blocks * (blocks + 1) / 2) {
+    return Invalid("community_dp block_edges must have one entry per "
+                   "unordered block pair");
+  }
+  for (double count : p.block_edges) {
+    if (!std::isfinite(count) || count < 0.0) {
+      return Invalid("community_dp block_edges must be finite and "
+                     "non-negative");
+    }
+  }
+  if (artifact.params.w < 0 || artifact.params.w > 20) {
+    return Invalid("community_dp payload needs 0 <= w <= 20");
+  }
+  const size_t configs = size_t{1} << artifact.params.w;
+  if (p.block_attr.size() != blocks * configs) {
+    return Invalid("community_dp block_attr must be num_blocks * 2^w");
+  }
+  for (size_t b = 0; b < blocks; ++b) {
+    double row_sum = 0.0;
+    for (size_t y = 0; y < configs; ++y) {
+      const double mass = p.block_attr[b * configs + y];
+      if (!std::isfinite(mass) || mass < 0.0) {
+        return Invalid("community_dp block_attr must be finite and "
+                       "non-negative");
+      }
+      row_sum += mass;
+    }
+    if (row_sum <= 0.0) {
+      return Invalid("community_dp block_attr row " + std::to_string(b) +
+                     " has no mass");
+    }
+  }
+  return util::Status::OK();
+}
+
+// kanon_baseline is syntactic: it must assert *zero* epsilon spend (the
+// "equivalent protection" ledger is epsilon-free) and a well-formed
+// grouping of the anonymized degree sequence.
+util::Status ValidateKanonPayload(const ReleaseArtifact& artifact) {
+  const MechanismPayload& p = artifact.payload;
+  if (!artifact.ledger.empty() || artifact.epsilon_budget != 0.0 ||
+      artifact.epsilon_spent != 0.0) {
+    return Invalid("kanon_baseline artifacts must carry zero epsilon spend "
+                   "and an empty ledger");
+  }
+  if (p.k_anonymity < 2) {
+    return Invalid("kanon_baseline needs k_anonymity >= 2");
+  }
+  if (!std::isfinite(p.t_closeness) || p.t_closeness < 0.0 ||
+      p.t_closeness > 1.0) {
+    return Invalid("kanon_baseline needs t_closeness in [0, 1]");
+  }
+  const size_t n = artifact.params.degree_sequence.size();
+  if (n == 0 || p.node_blocks.size() != n) {
+    return Invalid("kanon_baseline payload needs one anonymity group per "
+                   "degree-sequence entry");
+  }
+  if (p.num_blocks == 0) {
+    return Invalid("kanon_baseline payload needs num_blocks >= 1");
+  }
+  for (uint32_t block : p.node_blocks) {
+    if (block >= p.num_blocks) {
+      return Invalid("kanon_baseline node_blocks entry out of range");
+    }
+  }
+  if (artifact.params.w < 0 || artifact.params.w > 20) {
+    return Invalid("kanon_baseline payload needs 0 <= w <= 20");
+  }
+  const size_t configs = size_t{1} << artifact.params.w;
+  if (p.block_attr.size() != size_t{p.num_blocks} * configs) {
+    return Invalid("kanon_baseline block_attr must be num_blocks * 2^w");
+  }
+  for (size_t b = 0; b < p.num_blocks; ++b) {
+    double row_sum = 0.0;
+    for (size_t y = 0; y < configs; ++y) {
+      const double mass = p.block_attr[b * configs + y];
+      if (!std::isfinite(mass) || mass < 0.0) {
+        return Invalid("kanon_baseline block_attr must be finite and "
+                       "non-negative");
+      }
+      row_sum += mass;
+    }
+    if (row_sum <= 0.0) {
+      return Invalid("kanon_baseline block_attr row " + std::to_string(b) +
+                     " has no mass");
+    }
+  }
+  for (uint32_t d : artifact.params.degree_sequence) {
+    if (d >= n) {
+      return Invalid("kanon_baseline anonymized degree exceeds n - 1");
+    }
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
 util::Status ValidateReleaseArtifact(const ReleaseArtifact& artifact) {
   if (auto st = CheckSchemaVersion(artifact.schema_version); !st.ok()) {
     return st;
+  }
+  // The mechanism tag gates everything downstream (engine construction,
+  // registry rows, sweep cells), so an unknown tag is rejected here — at
+  // every read boundary — with the set of tags this build can serve.
+  if (!mechanisms::IsKnownMechanismTag(artifact.mechanism)) {
+    return Invalid("unknown mechanism '" + artifact.mechanism +
+                   "' (this build serves: " +
+                   mechanisms::KnownMechanismTagList() + ")");
   }
   if (artifact.model.empty()) return Invalid("empty model name");
   if (!std::isfinite(artifact.epsilon_budget) ||
@@ -147,7 +272,16 @@ util::Status ValidateReleaseArtifact(const ReleaseArtifact& artifact) {
       !st.ok()) {
     return st;
   }
-  return agm::ValidateAgmParams(artifact.params);
+  if (artifact.mechanism == "agm") {
+    if (!artifact.payload.Empty()) {
+      return Invalid("agm artifacts must not carry a mechanism payload");
+    }
+    return agm::ValidateAgmParams(artifact.params);
+  }
+  if (artifact.mechanism == "community_dp") {
+    return ValidateCommunityPayload(artifact);
+  }
+  return ValidateKanonPayload(artifact);
 }
 
 std::string ReleaseArtifactToJson(const ReleaseArtifact& artifact) {
@@ -156,6 +290,7 @@ std::string ReleaseArtifactToJson(const ReleaseArtifact& artifact) {
   json.Key("schema").Value(kSchemaName);
   json.Key("schema_version").Value(artifact.schema_version);
   json.Key("model").Value(artifact.model);
+  json.Key("mechanism").Value(artifact.mechanism);
   json.Key("config_fingerprint")
       .Value(std::to_string(artifact.config_fingerprint));
   json.Key("epsilon_budget").ValueExact(artifact.epsilon_budget);
@@ -189,6 +324,27 @@ std::string ReleaseArtifactToJson(const ReleaseArtifact& artifact) {
   json.Key("target_triangles")
       .Value(std::to_string(artifact.params.target_triangles));
   json.EndObject();
+  // The mechanism payload is written only for non-AGM mechanisms: AGM
+  // artifacts keep the exact PR-5 layout plus the "mechanism" tag above.
+  if (artifact.mechanism != "agm") {
+    const MechanismPayload& payload = artifact.payload;
+    json.Key("mechanism_payload").BeginObject();
+    json.Key("num_blocks").Value(static_cast<uint64_t>(payload.num_blocks));
+    json.Key("node_blocks").BeginArray();
+    for (uint32_t block : payload.node_blocks) {
+      json.Value(static_cast<uint64_t>(block));
+    }
+    json.EndArray();
+    json.Key("block_edges").BeginArray();
+    for (double count : payload.block_edges) json.ValueExact(count);
+    json.EndArray();
+    json.Key("block_attr").BeginArray();
+    for (double mass : payload.block_attr) json.ValueExact(mass);
+    json.EndArray();
+    json.Key("k_anonymity").Value(static_cast<uint64_t>(payload.k_anonymity));
+    json.Key("t_closeness").ValueExact(payload.t_closeness);
+    json.EndObject();
+  }
   json.EndObject();
   return json.Finish();
 }
@@ -220,6 +376,15 @@ util::Result<ReleaseArtifact> ReleaseArtifactFromJson(
   auto model = RequireString(root, "model");
   if (!model.ok()) return model.status();
   artifact.model = model.value();
+
+  // Pre-mechanism artifacts (written before the tag existed) are AGM by
+  // construction; a present tag must be a string, and ValidateReleaseArtifact
+  // below rejects values this build does not serve.
+  if (root.Find("mechanism") != nullptr) {
+    auto mechanism = RequireString(root, "mechanism");
+    if (!mechanism.ok()) return mechanism.status();
+    artifact.mechanism = mechanism.value();
+  }
 
   auto fingerprint = RequireUint64String(root, "config_fingerprint");
   if (!fingerprint.ok()) return fingerprint.status();
@@ -306,6 +471,73 @@ util::Result<ReleaseArtifact> ReleaseArtifactFromJson(
   if (!triangles.ok()) return triangles.status();
   artifact.params.target_triangles = triangles.value();
 
+  const util::JsonValue* payload = root.Find("mechanism_payload");
+  if (artifact.mechanism != "agm") {
+    if (payload == nullptr || !payload->is_object()) {
+      return Invalid("'mechanism_payload' must be an object for mechanism '" +
+                     artifact.mechanism + "'");
+    }
+    auto read_doubles = [payload](const std::string& key,
+                                  std::vector<double>* out) -> util::Status {
+      auto field = Require(*payload, key);
+      if (!field.ok()) return field.status();
+      if (!field.value()->is_array()) {
+        return Invalid("'" + key + "' must be an array");
+      }
+      out->reserve(field.value()->array_items().size());
+      for (const util::JsonValue& item : field.value()->array_items()) {
+        if (!item.is_number()) {
+          return Invalid("'" + key + "' entries must be numbers");
+        }
+        out->push_back(item.number_value());
+      }
+      return util::Status::OK();
+    };
+    auto read_uint32 = [payload](const std::string& key)
+        -> util::Result<uint32_t> {
+      auto number = RequireNumber(*payload, key);
+      if (!number.ok()) return number.status();
+      const double value = number.value();
+      if (value < 0.0 || value > 4294967295.0 || value != std::floor(value)) {
+        return Invalid("'" + key + "' must be a uint32 integer");
+      }
+      return static_cast<uint32_t>(value);
+    };
+    auto num_blocks = read_uint32("num_blocks");
+    if (!num_blocks.ok()) return num_blocks.status();
+    artifact.payload.num_blocks = num_blocks.value();
+    auto blocks_field = Require(*payload, "node_blocks");
+    if (!blocks_field.ok()) return blocks_field.status();
+    if (!blocks_field.value()->is_array()) {
+      return Invalid("'node_blocks' must be an array");
+    }
+    artifact.payload.node_blocks.reserve(
+        blocks_field.value()->array_items().size());
+    for (const util::JsonValue& item : blocks_field.value()->array_items()) {
+      const double value = item.is_number() ? item.number_value() : -1.0;
+      if (value < 0.0 || value > 4294967295.0 || value != std::floor(value)) {
+        return Invalid("'node_blocks' entries must be uint32 integers");
+      }
+      artifact.payload.node_blocks.push_back(static_cast<uint32_t>(value));
+    }
+    if (auto st = read_doubles("block_edges", &artifact.payload.block_edges);
+        !st.ok()) {
+      return st;
+    }
+    if (auto st = read_doubles("block_attr", &artifact.payload.block_attr);
+        !st.ok()) {
+      return st;
+    }
+    auto k_anonymity = read_uint32("k_anonymity");
+    if (!k_anonymity.ok()) return k_anonymity.status();
+    artifact.payload.k_anonymity = k_anonymity.value();
+    auto t_closeness = RequireNumber(*payload, "t_closeness");
+    if (!t_closeness.ok()) return t_closeness.status();
+    artifact.payload.t_closeness = t_closeness.value();
+  } else if (payload != nullptr) {
+    return Invalid("agm artifacts must not carry a mechanism payload");
+  }
+
   if (auto st = ValidateReleaseArtifact(artifact); !st.ok()) return st;
   return artifact;
 }
@@ -342,7 +574,10 @@ uint64_t EstimateArtifactBytes(const ReleaseArtifact& artifact) {
   bytes += artifact.params.theta_x.size() * sizeof(double);
   bytes += artifact.params.theta_f.size() * sizeof(double);
   bytes += artifact.params.degree_sequence.size() * sizeof(uint32_t);
-  bytes += artifact.model.size();
+  bytes += artifact.payload.node_blocks.size() * sizeof(uint32_t);
+  bytes += artifact.payload.block_edges.size() * sizeof(double);
+  bytes += artifact.payload.block_attr.size() * sizeof(double);
+  bytes += artifact.model.size() + artifact.mechanism.size();
   for (const auto& [label, eps] : artifact.ledger) {
     (void)eps;
     bytes += label.size() + sizeof(std::pair<std::string, double>);

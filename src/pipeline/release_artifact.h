@@ -19,8 +19,10 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "src/agm/agm_sampler.h"
+#include "src/mechanisms/mechanism_tags.h"
 #include "src/pipeline/pipeline_config.h"
 #include "src/util/status.h"
 
@@ -30,11 +32,46 @@ namespace agmdp::pipeline {
 /// other version.
 inline constexpr int kReleaseArtifactSchemaVersion = 1;
 
+/// \brief Mechanism-specific fitted state for the non-AGM publication
+/// schemes. Empty (all vectors empty, scalars zero) for "agm" artifacts —
+/// the AGM release lives entirely in `params`.
+///
+/// community_dp: `node_blocks[v]` is the (private) community of node v,
+/// `block_edges` holds the noised edge count of every unordered block pair
+/// in row-major upper-triangular order (size B(B+1)/2), and `block_attr`
+/// holds per-block attribute-config histograms (size B * 2^w).
+///
+/// kanon_baseline: `node_blocks[v]` is node v's anonymity group,
+/// `block_attr` the t-closeness-blended per-group attribute distribution,
+/// and the anonymized degrees travel in `params.degree_sequence`.
+struct MechanismPayload {
+  uint32_t num_blocks = 0;
+  std::vector<uint32_t> node_blocks;
+  std::vector<double> block_edges;
+  std::vector<double> block_attr;
+  /// kanon_baseline knobs, recorded for the "equivalent protection" ledger.
+  uint32_t k_anonymity = 0;
+  double t_closeness = 0.0;
+
+  bool Empty() const {
+    return num_blocks == 0 && node_blocks.empty() && block_edges.empty() &&
+           block_attr.empty() && k_anonymity == 0 && t_closeness == 0.0;
+  }
+};
+
 /// \brief A stored private release: parameters + ledger + provenance.
 struct ReleaseArtifact {
   int schema_version = kReleaseArtifactSchemaVersion;
+  /// Release mechanism by registry tag (mechanisms::KnownMechanismTags).
+  /// Validated at every read boundary; unknown tags are a typed
+  /// InvalidArgument, never silently served.
+  std::string mechanism = "agm";
   /// Structural model by registry name; resolved when an engine is built.
+  /// Non-AGM mechanisms carry their mechanism tag here (they do not use
+  /// the structural-model registry).
   std::string model;
+  /// Mechanism-specific fitted state; empty for "agm".
+  MechanismPayload payload;
   /// PipelineConfig::Fingerprint() of the configuration that produced the
   /// fit (provenance only — consumers never re-derive settings from it).
   uint64_t config_fingerprint = 0;

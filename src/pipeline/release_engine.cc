@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "src/mechanisms/release_mechanism.h"
 #include "src/pipeline/model_registry.h"
 
 namespace agmdp::pipeline {
@@ -23,16 +24,39 @@ constexpr int kMaxPoolWorkers = agm::kSamplerProposalShards;
 util::Result<std::unique_ptr<ReleaseEngine>> ReleaseEngine::Create(
     ReleaseArtifact artifact, const EngineOptions& options) {
   if (auto st = ValidateReleaseArtifact(artifact); !st.ok()) return st;
+  if (options.default_refine_iterations < 0) {
+    return util::Status::InvalidArgument(
+        "release engine: default_refine_iterations must be >= 0");
+  }
+
+  // Non-AGM mechanisms: resolve the sampling handle from the mechanism
+  // registry and skip the structural-model / calibration machinery —
+  // their artifacts fully describe the sampling distribution, and the
+  // Substream request keying in Sample/SampleMany supplies determinism.
+  if (artifact.mechanism != "agm") {
+    const mechanisms::MechanismSpec* mech =
+        mechanisms::FindMechanism(artifact.mechanism);
+    if (mech == nullptr || !mech->make_sampler) {
+      return util::Status::InvalidArgument(
+          "release engine: mechanism '" + artifact.mechanism +
+          "' has no registered sampler (registered: " +
+          mechanisms::MechanismNameList() + ")");
+    }
+    auto sampler = mech->make_sampler(artifact);
+    if (!sampler.ok()) return sampler.status();
+    std::unique_ptr<ReleaseEngine> engine(
+        new ReleaseEngine(std::move(artifact), options,
+                          agm::AgmSampleOptions{}, /*pool_workers=*/1));
+    engine->sampler_ = std::move(sampler).value();
+    return engine;
+  }
+
   const StructuralModelSpec* spec = FindStructuralModel(artifact.model);
   if (spec == nullptr) {
     return util::Status::InvalidArgument(
         "release engine: artifact model '" + artifact.model +
         "' is not registered (registered: " + StructuralModelNameList() +
         ")");
-  }
-  if (options.default_refine_iterations < 0) {
-    return util::Status::InvalidArgument(
-        "release engine: default_refine_iterations must be >= 0");
   }
 
   // Resolve the sampler options once: caller knobs, then the artifact's
@@ -83,6 +107,10 @@ uint64_t ReleaseEngine::ApproxBytes() const {
   // pool bookkeeping. Deliberately round — the cache budget is a resource
   // guardrail, not an allocator audit.
   constexpr uint64_t kPerWorkerBytes = 64 * 1024;
+  if (sampler_ != nullptr) {
+    return EstimateArtifactBytes(artifact_) + sampler_->ApproxBytes() +
+           sizeof(ReleaseEngine);
+  }
   return EstimateArtifactBytes(artifact_) +
          calibrated_acceptance_.size() * sizeof(double) +
          static_cast<uint64_t>(pool_.num_workers()) * kPerWorkerBytes +
@@ -103,6 +131,12 @@ agm::AgmSampleOptions ReleaseEngine::RequestOptions(
 
 util::Result<graph::AttributedGraph> ReleaseEngine::Sample(
     const SampleRequest& request) const {
+  if (sampler_ != nullptr) {
+    // Same request keying as the AGM path; the sampler is immutable, so
+    // concurrent requests need no coordination.
+    util::Rng rng = util::Rng::Substream(request.seed, request.sequence);
+    return sampler_->Sample(rng);
+  }
   agm::AgmSampleOptions resolved = RequestOptions(request.refine_iterations);
   util::Rng rng = util::Rng::Substream(request.seed, request.sequence);
   if (request.threads <= 1) {
@@ -121,6 +155,21 @@ util::Result<std::vector<graph::AttributedGraph>> ReleaseEngine::SampleMany(
   if (n < 0) {
     return util::Status::InvalidArgument(
         "release engine: SampleMany needs n >= 0");
+  }
+  if (sampler_ != nullptr) {
+    // Each task is exactly Sample({seed, sequence + i}); per-sample cost
+    // is one block-model draw, so a sequential loop already saturates the
+    // request path and stays trivially bitwise-stable at any pool size.
+    std::vector<graph::AttributedGraph> graphs;
+    graphs.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      util::Rng rng = util::Rng::Substream(
+          base.seed, base.sequence + static_cast<uint64_t>(i));
+      auto sample = sampler_->Sample(rng);
+      if (!sample.ok()) return sample.status();
+      graphs.push_back(std::move(sample).value());
+    }
+    return graphs;
   }
   if (n == 1) {
     // A single request gains nothing from cross-sample fan-out; hand it
@@ -164,6 +213,7 @@ util::Result<std::vector<graph::AttributedGraph>> ReleaseEngine::SampleMany(
 
 util::Result<graph::AttributedGraph> ReleaseEngine::SampleFromStream(
     util::Rng& rng) const {
+  if (sampler_ != nullptr) return sampler_->Sample(rng);
   agm::AgmSampleOptions resolved = RequestOptions(/*refine_iterations=*/-1);
   const std::lock_guard<std::mutex> lock(pool_mutex_);
   resolved.pool = &pool_;

@@ -33,6 +33,10 @@
 #include "src/util/rng.h"
 #include "src/util/status.h"
 
+namespace agmdp::mechanisms {
+class ArtifactSampler;
+}  // namespace agmdp::mechanisms
+
 namespace agmdp::pipeline {
 
 struct EngineOptions {
@@ -69,11 +73,19 @@ struct SampleRequest {
 };
 
 /// \brief A fit-once / sample-many serving handle over a ReleaseArtifact.
+///
+/// The engine serves every registered release mechanism behind one
+/// interface: "agm" artifacts take the dedicated calibrated path below,
+/// any other tag resolves a mechanisms::ArtifactSampler from the mechanism
+/// registry and delegates to it under the same Substream(seed, sequence)
+/// request keying — so the cache, the daemon, and the CLI never branch on
+/// the mechanism themselves.
 class ReleaseEngine {
  public:
-  /// Validates the artifact (schema version, registry model, parameter
-  /// sanity), spawns the persistent pool, and runs the calibration sample
-  /// when requested.
+  /// Validates the artifact (schema version, mechanism tag, registry
+  /// model, parameter sanity), spawns the persistent pool, and runs the
+  /// calibration sample when requested (AGM only; other mechanisms have
+  /// no acceptance loop to calibrate).
   static util::Result<std::unique_ptr<ReleaseEngine>> Create(
       ReleaseArtifact artifact, const EngineOptions& options = {});
 
@@ -130,6 +142,10 @@ class ReleaseEngine {
   /// Converged acceptance vector of the calibration sample; empty when the
   /// engine is not calibrated.
   std::vector<double> calibrated_acceptance_;
+  /// Mechanism-registry sampling handle; null for "agm" artifacts (which
+  /// use the sampler path below). When set, every Sample* method
+  /// delegates to it.
+  std::shared_ptr<const mechanisms::ArtifactSampler> sampler_;
   /// The persistent serving pool. WorkerPool::Run is not reentrant, so
   /// every use holds pool_mutex_; requests with threads <= 1 never touch
   /// it and run fully concurrently.

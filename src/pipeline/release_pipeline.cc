@@ -4,6 +4,7 @@
 #include <memory>
 #include <utility>
 
+#include "src/mechanisms/release_mechanism.h"
 #include "src/pipeline/release_engine.h"
 
 namespace agmdp::pipeline {
@@ -81,6 +82,22 @@ util::Result<FitResult> FitPrivateParams(const graph::AttributedGraph& input,
 util::Result<ReleaseArtifact> FitReleaseArtifact(
     const graph::AttributedGraph& input, const PipelineConfig& config,
     util::Rng& rng) {
+  // Mechanism dispatch: non-AGM schemes fit through their registry entry
+  // (each charging its own accountant); the AGM path below is byte-for-byte
+  // the pre-registry pipeline, so existing artifacts and golden checksums
+  // are untouched.
+  if (config.mechanism != "agm") {
+    if (auto st = config.Validate(); !st.ok()) return st;
+    const mechanisms::MechanismSpec* mech =
+        mechanisms::FindMechanism(config.mechanism);
+    if (mech == nullptr || !mech->fit) {
+      return util::Status::InvalidArgument(
+          "release pipeline: mechanism '" + config.mechanism +
+          "' has no registered fit (registered: " +
+          mechanisms::MechanismNameList() + ")");
+    }
+    return mech->fit(input, config, rng);
+  }
   auto fit = FitPrivateParams(input, config, rng);
   if (!fit.ok()) return fit.status();
   return MakeReleaseArtifact(fit.value(), config);
@@ -103,6 +120,39 @@ util::Result<ReleaseResult> RunPrivateRelease(
     util::Rng& rng) {
   const Clock::time_point start = Clock::now();
   if (auto st = config.Validate(); !st.ok()) return st;
+
+  // Non-AGM mechanisms: fit through the registry, serve one sample from
+  // the stream via an uncalibrated engine, and report the artifact's
+  // ledger (empty with zero spend for syntactic baselines).
+  if (config.mechanism != "agm") {
+    auto artifact = FitReleaseArtifact(input, config, rng);
+    if (!artifact.ok()) return artifact.status();
+    const double fit_seconds = SecondsSince(start);
+
+    const Clock::time_point sample_start = Clock::now();
+    EngineOptions engine_options;
+    engine_options.calibrate = false;
+    auto engine =
+        ReleaseEngine::Create(std::move(artifact).value(), engine_options);
+    if (!engine.ok()) return engine.status();
+    auto synthetic = engine.value()->SampleFromStream(rng);
+    if (!synthetic.ok()) return synthetic.status();
+
+    const ReleaseArtifact& fitted = engine.value()->artifact();
+    ReleaseResult result{std::move(synthetic).value(),
+                         fitted.params,
+                         fitted.ledger,
+                         fitted.epsilon_budget,
+                         fitted.epsilon_spent,
+                         {},
+                         0.0,
+                         config.mechanism};
+    result.stage_seconds.push_back({"fit", fit_seconds});
+    result.stage_seconds.push_back({"sample", SecondsSince(sample_start)});
+    result.total_seconds = SecondsSince(start);
+    return result;
+  }
+
   auto fit = FitValidated(input, config, rng);
   if (!fit.ok()) return fit.status();
 

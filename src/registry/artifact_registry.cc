@@ -359,10 +359,23 @@ util::Status ArtifactRegistry::ApplyRecordLocked(const std::string& payload) {
     DatasetState& state = dataset_state_[dataset];
     if (state.charges.emplace(key, epsilon).second) state.spent += epsilon;
   };
-  auto apply_artifact = [this](const std::string& dataset,
-                               const std::string& name,
-                               const std::string& artifact_json)
-      -> util::Status {
+  auto append_history = [this](const std::string& dataset,
+                               const std::string& name, const Entry& entry) {
+    HistoryRow row;
+    row.dataset = dataset;
+    row.name = name;
+    row.mechanism = entry.artifact.mechanism;
+    row.model = entry.artifact.model;
+    row.release_key = entry.release_key;
+    row.config_fingerprint = entry.artifact.config_fingerprint;
+    row.epsilon = entry.artifact.epsilon_spent;
+    history_.push_back(std::move(row));
+  };
+  auto apply_artifact = [this, &append_history](
+                            const std::string& dataset,
+                            const std::string& name,
+                            const std::string& artifact_json,
+                            bool record_history) -> util::Status {
     auto artifact = pipeline::ReleaseArtifactFromJson(artifact_json);
     if (!artifact.ok()) {
       return util::Status::Corruption(
@@ -376,6 +389,7 @@ util::Status ArtifactRegistry::ApplyRecordLocked(const std::string& payload) {
     fingerprints_[FingerprintKey(dataset,
                                  entry.artifact.config_fingerprint)] =
         entry.release_key;
+    if (record_history) append_history(dataset, name, entry);
     entries_[EntryKey(dataset, name)] = std::move(entry);
     return util::Status::OK();
   };
@@ -399,7 +413,7 @@ util::Status ArtifactRegistry::ApplyRecordLocked(const std::string& payload) {
     if (!name.ok()) return name.status();
     if (!artifact_json.ok()) return artifact_json.status();
     return apply_artifact(dataset.value(), name.value(),
-                          artifact_json.value());
+                          artifact_json.value(), /*record_history=*/true);
   }
   if (kind == "gc") {
     auto dataset = RequireString(record, "dataset");
@@ -408,6 +422,14 @@ util::Status ArtifactRegistry::ApplyRecordLocked(const std::string& payload) {
     if (!name.ok()) return name.status();
     auto it = entries_.find(EntryKey(dataset.value(), name.value()));
     if (it != entries_.end()) {
+      for (auto h = history_.rbegin(); h != history_.rend(); ++h) {
+        if (h->live && h->dataset == dataset.value() &&
+            h->name == name.value() &&
+            h->release_key == it->second.release_key) {
+          h->live = false;
+          break;
+        }
+      }
       fingerprints_.erase(FingerprintKey(
           dataset.value(), it->second.artifact.config_fingerprint));
       entries_.erase(it);
@@ -429,6 +451,7 @@ util::Status ArtifactRegistry::ApplyRecordLocked(const std::string& payload) {
     fingerprints_.clear();
     dataset_state_.clear();
     tenant_charges_.clear();
+    history_.clear();
     const util::JsonValue* datasets = record.Find("datasets");
     const util::JsonValue* artifacts = record.Find("artifacts");
     const util::JsonValue* tenants = record.Find("tenants");
@@ -461,7 +484,8 @@ util::Status ArtifactRegistry::ApplyRecordLocked(const std::string& payload) {
       if (!name.ok()) return name.status();
       if (!artifact_json.ok()) return artifact_json.status();
       if (auto st = apply_artifact(dataset.value(), name.value(),
-                                   artifact_json.value());
+                                   artifact_json.value(),
+                                   /*record_history=*/false);
           !st.ok()) {
         return st;
       }
@@ -480,6 +504,62 @@ util::Status ArtifactRegistry::ApplyRecordLocked(const std::string& payload) {
         if (!key.ok()) return key.status();
         if (!epsilon.ok()) return epsilon.status();
         tenant_charges_[tenant.value()].emplace(key.value(), epsilon.value());
+      }
+    }
+    const util::JsonValue* history = record.Find("history");
+    if (history != nullptr) {
+      if (!history->is_array()) {
+        return util::Status::Corruption(
+            "registry checkpoint history section is not an array");
+      }
+      for (const util::JsonValue& row_json : history->array_items()) {
+        auto dataset = RequireString(row_json, "dataset");
+        auto name = RequireString(row_json, "name");
+        auto mechanism = RequireString(row_json, "mechanism");
+        auto model = RequireString(row_json, "model");
+        auto key = RequireUint64String(row_json, "release_key");
+        auto fingerprint =
+            RequireUint64String(row_json, "config_fingerprint");
+        auto epsilon = RequireNumber(row_json, "epsilon");
+        if (!dataset.ok()) return dataset.status();
+        if (!name.ok()) return name.status();
+        if (!mechanism.ok()) return mechanism.status();
+        if (!model.ok()) return model.status();
+        if (!key.ok()) return key.status();
+        if (!fingerprint.ok()) return fingerprint.status();
+        if (!epsilon.ok()) return epsilon.status();
+        const util::JsonValue* live = row_json.Find("live");
+        if (live == nullptr || !live->is_bool()) {
+          return util::Status::Corruption(
+              "registry checkpoint history row field 'live' missing or not "
+              "a bool");
+        }
+        HistoryRow row;
+        row.dataset = std::move(dataset).value();
+        row.name = std::move(name).value();
+        row.mechanism = std::move(mechanism).value();
+        row.model = std::move(model).value();
+        row.release_key = key.value();
+        row.config_fingerprint = fingerprint.value();
+        row.epsilon = epsilon.value();
+        row.live = live->bool_value();
+        history_.push_back(std::move(row));
+      }
+    } else {
+      // Checkpoint written before the history section existed: the
+      // superseded lineage is gone, so rebuild the best available history —
+      // every currently-resolvable release, live, in sorted key order.
+      std::vector<const std::string*> keys;
+      keys.reserve(entries_.size());
+      for (const auto& [key, entry] : entries_) keys.push_back(&key);
+      std::sort(keys.begin(), keys.end(),
+                [](const std::string* a, const std::string* b) {
+                  return *a < *b;
+                });
+      for (const std::string* key : keys) {
+        const Entry& entry = entries_.at(*key);
+        const size_t sep = key->find('\n');
+        append_history(key->substr(0, sep), key->substr(sep + 1), entry);
       }
     }
     return util::Status::OK();
@@ -642,6 +722,15 @@ util::Status ArtifactRegistry::Put(const std::string& dataset,
   fingerprints_[FingerprintKey(dataset, artifact.config_fingerprint)] =
       release_key;
   entries_[EntryKey(dataset, name)] = std::move(entry);
+  HistoryRow history_row;
+  history_row.dataset = dataset;
+  history_row.name = name;
+  history_row.mechanism = artifact.mechanism;
+  history_row.model = artifact.model;
+  history_row.release_key = release_key;
+  history_row.config_fingerprint = artifact.config_fingerprint;
+  history_row.epsilon = epsilon;
+  history_.push_back(std::move(history_row));
   return util::Status::OK();
 }
 
@@ -675,6 +764,13 @@ util::Status ArtifactRegistry::Gc(const std::string& dataset,
   record.EndObject();
   if (auto st = AppendRecordLocked(record.Finish(), "registry.gc"); !st.ok()) {
     return st;
+  }
+  for (auto h = history_.rbegin(); h != history_.rend(); ++h) {
+    if (h->live && h->dataset == dataset && h->name == name &&
+        h->release_key == it->second.release_key) {
+      h->live = false;
+      break;
+    }
   }
   fingerprints_.erase(
       FingerprintKey(dataset, it->second.artifact.config_fingerprint));
@@ -782,6 +878,24 @@ std::string ArtifactRegistry::EncodeCheckpointLocked() const {
       json.EndObject();
     }
     json.EndArray();
+    json.EndObject();
+  }
+  json.EndArray();
+  // History travels in bind order (already deterministic — it was built by
+  // deterministic journal replay), so superseded lineage survives
+  // compaction.
+  json.Key("history").BeginArray();
+  for (const HistoryRow& row : history_) {
+    json.BeginObject();
+    json.Key("dataset").Value(row.dataset);
+    json.Key("name").Value(row.name);
+    json.Key("mechanism").Value(row.mechanism);
+    json.Key("model").Value(row.model);
+    json.Key("release_key").Value(std::to_string(row.release_key));
+    json.Key("config_fingerprint")
+        .Value(std::to_string(row.config_fingerprint));
+    json.Key("epsilon").ValueExact(row.epsilon);
+    json.Key("live").Value(row.live);
     json.EndObject();
   }
   json.EndArray();
@@ -905,6 +1019,7 @@ std::vector<ArtifactRow> ArtifactRegistry::List() const {
     ArtifactRow row;
     row.dataset = key.substr(0, sep);
     row.name = key.substr(sep + 1);
+    row.mechanism = entry.artifact.mechanism;
     row.model = entry.artifact.model;
     row.release_key = entry.release_key;
     row.config_fingerprint = entry.artifact.config_fingerprint;
@@ -916,6 +1031,11 @@ std::vector<ArtifactRow> ArtifactRegistry::List() const {
               return std::tie(a.dataset, a.name) < std::tie(b.dataset, b.name);
             });
   return rows;
+}
+
+std::vector<HistoryRow> ArtifactRegistry::History() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
 }
 
 std::vector<DatasetRow> ArtifactRegistry::Datasets() const {

@@ -67,10 +67,27 @@ struct RegistryOptions {
 struct ArtifactRow {
   std::string dataset;
   std::string name;
+  std::string mechanism;
   std::string model;
   uint64_t release_key = 0;
   uint64_t config_fingerprint = 0;
   double epsilon = 0.0;
+};
+
+/// One release ever bound to a (dataset, name), in bind order — the
+/// per-config fingerprint history behind `agmdp registry list`. Gc marks a
+/// row superseded instead of dropping it: the release happened, and its
+/// fingerprint/epsilon lineage stays auditable after the bytes are gone.
+struct HistoryRow {
+  std::string dataset;
+  std::string name;
+  std::string mechanism;
+  std::string model;
+  uint64_t release_key = 0;
+  uint64_t config_fingerprint = 0;
+  double epsilon = 0.0;
+  /// False once the binding was gc'd (superseded).
+  bool live = true;
 };
 
 /// Per-dataset budget posture.
@@ -154,6 +171,9 @@ class ArtifactRegistry {
   double Cap(const std::string& dataset) const;
 
   std::vector<ArtifactRow> List() const;
+  /// Every release ever bound, in bind order, gc'd (superseded) rows
+  /// included. Survives checkpoints and recovery.
+  std::vector<HistoryRow> History() const;
   std::vector<DatasetRow> Datasets() const;
   std::vector<TenantChargeRow> TenantCharges() const;
   RegistryStats Stats() const;
@@ -197,6 +217,9 @@ class ArtifactRegistry {
   /// (dataset, fingerprint) -> release_key, the collision index.
   std::unordered_map<std::string, uint64_t> fingerprints_;
   std::unordered_map<std::string, DatasetState> dataset_state_;
+  /// Bind-order release history (superseded rows included); rebuilt on
+  /// replay and carried through checkpoints.
+  std::vector<HistoryRow> history_;
   /// tenant -> release_key -> epsilon.
   std::unordered_map<std::string, std::unordered_map<uint64_t, double>>
       tenant_charges_;

@@ -17,6 +17,10 @@
 // bitwise-identical at any thread count.
 #pragma once
 
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
 #include <algorithm>
 #include <atomic>
 #include <condition_variable>
@@ -28,11 +32,34 @@
 
 namespace agmdp::util {
 
-/// Resolves a thread-count request: any value <= 0 selects the hardware
-/// concurrency (minimum 1); positive values are returned as-is.
+/// CPUs actually available to this process — the affinity mask (cpuset /
+/// taskset / container quota), not the machine's core count.
+/// hardware_concurrency() reports every core in the box, so a pool sized by
+/// it inside a 4-CPU cgroup on a 128-core host would spawn 128 workers
+/// timeslicing over 4 CPUs. Cached after the first call (affinity changes
+/// mid-process are rare and only affect default sizing, never results).
+inline int AvailableConcurrency() {
+  static const int cached = [] {
+#if defined(__linux__)
+    cpu_set_t mask;
+    CPU_ZERO(&mask);
+    if (sched_getaffinity(0, sizeof(mask), &mask) == 0) {
+      const int count = CPU_COUNT(&mask);
+      if (count > 0) return count;
+    }
+#endif
+    return static_cast<int>(
+        std::max(1u, std::thread::hardware_concurrency()));
+  }();
+  return cached;
+}
+
+/// Resolves a thread-count request: any value <= 0 selects the available
+/// concurrency (the process affinity mask, minimum 1); positive values are
+/// returned as-is.
 inline int ResolveThreadCount(int threads) {
   if (threads > 0) return threads;
-  return static_cast<int>(std::max(1u, std::thread::hardware_concurrency()));
+  return AvailableConcurrency();
 }
 
 /// Invokes fn(begin, end) over contiguous ranges covering [0, n), on up to

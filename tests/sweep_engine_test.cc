@@ -123,7 +123,8 @@ TEST(SweepEngineTest, JsonIsByteIdenticalAcrossRunsAndThreadCounts) {
   EXPECT_EQ(a, c);
 
   // Schema markers and balanced structure.
-  EXPECT_NE(a.find("\"schema\": \"agmdp.sweep.v3\""), std::string::npos);
+  EXPECT_NE(a.find("\"schema\": \"agmdp.sweep.v4\""), std::string::npos);
+  EXPECT_NE(a.find("\"mechanism_summary\": ["), std::string::npos);
   EXPECT_NE(a.find("\"cells\": ["), std::string::npos);
   EXPECT_NE(a.find("\"metrics\": {"), std::string::npos);
   EXPECT_NE(a.find("\"stddev\":"), std::string::npos);

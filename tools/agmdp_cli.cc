@@ -8,12 +8,16 @@
 //   generate   --dataset=lastfm --scale=1.0 --seed=7 --out=PREFIX
 //              Generate a synthetic stand-in dataset (writes PREFIX.edges /
 //              PREFIX.attrs).
-//   fit        --in=PREFIX --epsilon=0.69 [--model=NAME]
+//   fit        --in=PREFIX --epsilon=0.69 [--mechanism=NAME] [--model=NAME]
+//              [--k-anonymity=K] [--t-closeness=T] [--community-blocks=B]
 //              [--artifact-out=FILE] [--params-out=FILE]
-//              Learn the differentially private AGM parameters and write
-//              them as a release artifact (JSON: parameters + budget
+//              Fit a private release under the named mechanism (default
+//              agm; see `agmdp models` for the registry) and write it as a
+//              mechanism-tagged release artifact (JSON: parameters + budget
 //              ledger + config fingerprint; see release_artifact.h). This
 //              is the only step that touches the sensitive data.
+//              --k-anonymity/--t-closeness tune kanon_baseline,
+//              --community-blocks tunes community_dp (0 = auto).
 //   sample     --artifact=FILE --out=PREFIX [--samples=N] [--seed=1]
 //              [--serve-threads=T] [--refine_iters=R] [--cold]
 //              Serve synthetic graphs from a stored artifact through a
@@ -27,7 +31,8 @@
 //   synthesize --in=PREFIX --epsilon=0.69 --out=PREFIX2 [--model=NAME]
 //              [--threads=T]
 //              fit + sample in one step, with stage timings.
-//   models     List the registered structural models.
+//   models     List the registered release mechanisms and structural
+//              models.
 //   stats      --in=PREFIX [--analytics-threads=T]
 //              Structural summary, assortativity and path statistics,
 //              computed on an immutable CsrGraph snapshot.
@@ -35,15 +40,20 @@
 //              The full utility metric suite (src/eval) between two graphs
 //              (one CsrGraph snapshot per side, reused by every metric).
 //   sweep      --datasets=lastfm,petster --models=fcl,tricycle
-//              --eps=0.2,0.69,1.1 [--repeats=3] [--scale=0.1] [--seed=1]
+//              --eps=0.2,0.69,1.1 [--mechanisms=agm,community_dp,...]
+//              [--repeats=3] [--scale=0.1] [--seed=1]
 //              [--threads=1] [--sampler-threads=1] [--accept_iters=2]
 //              [--analytics-threads=1] [--reuse-fit]
 //              [--out=BENCH_sweep.json] [--no-timing]
-//              Run the multi-scenario sweep engine over the dataset × model
-//              × epsilon grid (repeats fully accounted releases per cell,
-//              deterministic per-cell RNG substreams, cells parallelized
-//              over --threads workers) and write per-cell mean/stddev of
-//              every utility metric as BENCH_sweep.json. With a fixed seed
+//              Run the multi-scenario sweep engine over the dataset ×
+//              mechanism × model × epsilon grid (repeats fully accounted
+//              releases per cell, deterministic per-cell RNG substreams,
+//              cells parallelized over --threads workers) and write
+//              per-cell mean/stddev of every utility metric plus a
+//              cross-mechanism utility ranking as BENCH_sweep.json
+//              (schema agmdp.sweep.v4). --mechanisms ranks competing
+//              publication schemes on the same grid ("agm" expands over
+//              --models; other mechanisms ignore it). With a fixed seed
 //              the JSON is byte-identical across runs (timing fields aside;
 //              --no-timing omits them entirely).
 //   serve      [--port=0] [--host=127.0.0.1] [--workers=2]
@@ -84,10 +94,13 @@
 //              Operate on the durable artifact registry offline: `put`
 //              registers a fitted artifact under (dataset, name) and
 //              charges its epsilon against the dataset's lifetime cap
-//              (idempotent per release key), `list` prints artifacts and
-//              per-dataset budget posture, `show` prints one artifact's
-//              JSON, `gc` drops an artifact (the charge remains — privacy
-//              loss is not refundable), `checkpoint` compacts the journal.
+//              (idempotent per release key), `list` prints artifacts
+//              (with their mechanism tags), per-dataset budget posture,
+//              and the per-config fingerprint history — every release ever
+//              bound to each (dataset, name), superseded ones included —
+//              `show` prints one artifact's JSON, `gc` drops an artifact
+//              (the charge remains — privacy loss is not refundable),
+//              `checkpoint` compacts the journal.
 //   convert    agmdp convert <text> <bin.agmbin>   (or --in= / --out=)
 //              Streaming text -> binary container conversion (constant
 //              heap in the edge count; see graph/graph_container.h).
@@ -135,6 +148,7 @@
 #include "src/graph/graph_io.h"
 #include "src/graph/graph_source.h"
 #include "src/graph/paths.h"
+#include "src/mechanisms/release_mechanism.h"
 #include "src/pipeline/release_engine.h"
 #include "src/pipeline/release_pipeline.h"
 #include "src/registry/artifact_registry.h"
@@ -186,15 +200,16 @@ const std::vector<SubcommandDoc>& Subcommands() {
        "serve synthetic graphs from an artifact (free post-processing)"},
       {"synthesize", "agmdp synthesize --in=data --epsilon=0.69 --out=syn",
        "fit + sample in one step, with stage timings"},
-      {"models", "agmdp models", "list the registered structural models"},
+      {"models", "agmdp models",
+       "list the registered release mechanisms and structural models"},
       {"stats", "agmdp stats --in=data",
        "structural summary and assortativity/path statistics"},
       {"evaluate", "agmdp evaluate --in=data --synthetic=syn",
        "the full utility metric suite between two graphs"},
       {"sweep",
-       "agmdp sweep --datasets=lastfm --models=fcl,tricycle --eps=0.3,0.69 "
-       "--repeats=3 [--reuse-fit]",
-       "dataset x model x epsilon utility grid -> BENCH_sweep.json"},
+       "agmdp sweep --datasets=lastfm --mechanisms=agm,community_dp "
+       "--eps=0.3,0.69 --repeats=3 [--reuse-fit]",
+       "dataset x mechanism x epsilon utility grid -> BENCH_sweep.json"},
       {"serve",
        "agmdp serve --port=7411 --cache-mb=256 --tenant-budget=2.0",
        "multi-tenant sampling daemon (engine cache + epsilon ledger)"},
@@ -279,7 +294,23 @@ util::Result<pipeline::PipelineConfig> ConfigFromFlags(
   auto epsilon = flags.GetCheckedDouble("epsilon", std::log(2.0));
   if (!epsilon.ok()) return epsilon.status();
   config.epsilon = epsilon.value();
+  config.mechanism = flags.GetString("mechanism", "agm");
   config.model = flags.GetString("model", "tricycle");
+  auto k_anonymity = flags.GetCheckedInt("k-anonymity", 0);
+  if (!k_anonymity.ok()) return k_anonymity.status();
+  if (k_anonymity.value() < 0) {
+    return util::Status::InvalidArgument("--k-anonymity must be >= 0");
+  }
+  config.k_anonymity = static_cast<uint32_t>(k_anonymity.value());
+  auto t_closeness = flags.GetCheckedDouble("t-closeness", 0.2);
+  if (!t_closeness.ok()) return t_closeness.status();
+  config.t_closeness = t_closeness.value();
+  auto community_blocks = flags.GetCheckedInt("community-blocks", 0);
+  if (!community_blocks.ok()) return community_blocks.status();
+  if (community_blocks.value() < 0) {
+    return util::Status::InvalidArgument("--community-blocks must be >= 0");
+  }
+  config.community_blocks = static_cast<uint32_t>(community_blocks.value());
   auto threads = flags.GetCheckedInt("threads", 1);
   if (!threads.ok()) return threads.status();
   if (threads.value() < 0) {
@@ -377,9 +408,10 @@ int CmdFit(const util::Flags& flags) {
         !st.ok()) {
       return Fail(st);
     }
-    std::printf("fitted eps=%.4f release artifact (model=%s, "
+    std::printf("fitted eps=%.4f release artifact (mechanism=%s, model=%s, "
                 "fingerprint=%llu) -> %s\n",
-                config.epsilon, config.model.c_str(),
+                config.epsilon, artifact.value().mechanism.c_str(),
+                artifact.value().model.c_str(),
                 static_cast<unsigned long long>(
                     artifact.value().config_fingerprint),
                 out.c_str());
@@ -515,10 +547,18 @@ int CmdSynthesize(const util::Flags& flags) {
 }
 
 int CmdModels(const util::Flags&) {
+  std::printf("release mechanisms (--mechanism= / --mechanisms=):\n");
+  for (const std::string& name : mechanisms::MechanismNames()) {
+    const mechanisms::MechanismSpec* spec = mechanisms::FindMechanism(name);
+    std::printf("  %-16s [%s] %s\n", name.c_str(),
+                mechanisms::PrivacyModelName(spec->privacy_model),
+                spec->description.c_str());
+  }
+  std::printf("structural models (--model=, agm mechanism only):\n");
   for (const std::string& name : pipeline::StructuralModelNames()) {
     const pipeline::StructuralModelSpec* spec =
         pipeline::FindStructuralModel(name);
-    std::printf("%-12s %s%s\n", name.c_str(), spec->description.c_str(),
+    std::printf("  %-16s %s%s\n", name.c_str(), spec->description.c_str(),
                 spec->needs_triangles ? " [learns triangle target]" : "");
   }
   return 0;
@@ -582,6 +622,7 @@ int CmdSweep(const util::Flags& flags) {
   eval::SweepSpec spec;
   spec.datasets = flags.GetStringList("datasets", {"lastfm"});
   spec.dataset_scale = flags.GetDouble("scale", 0.1);
+  spec.mechanisms = flags.GetStringList("mechanisms", {"agm"});
   spec.models = flags.GetStringList("models", {"fcl", "tricycle"});
   spec.epsilons =
       flags.GetDoubleList("eps", {0.2, std::log(2.0), std::log(3.0)});
@@ -601,22 +642,24 @@ int CmdSweep(const util::Flags& flags) {
   auto result = eval::RunSweepOnDatasets(spec);
   if (!result.ok()) return Fail(result.status());
 
-  std::printf("# sweep: %zu cells (%zu datasets x %zu models x %zu epsilons)"
-              ", %d repeats, %.2fs\n",
+  std::printf("# sweep: %zu cells (%zu datasets x %zu mechanisms x "
+              "%zu epsilons), %d repeats, %.2fs\n",
               result.value().cells.size(), spec.datasets.size(),
-              spec.models.size(), spec.epsilons.size(), spec.repeats,
+              spec.mechanisms.size(), spec.epsilons.size(), spec.repeats,
               result.value().total_seconds);
   int failed_cells = 0;
   for (const eval::SweepCell& cell : result.value().cells) {
     if (!cell.error.empty()) {
       ++failed_cells;
-      std::printf("%-10s %-12s eps=%-6.3f FAILED: %s\n", cell.dataset.c_str(),
+      std::printf("%-10s %-14s %-12s eps=%-6.3f FAILED: %s\n",
+                  cell.dataset.c_str(), cell.mechanism.c_str(),
                   cell.model.c_str(), cell.epsilon, cell.error.c_str());
       continue;
     }
-    std::printf("%-10s %-12s eps=%-6.3f KS_S=%.4f H_ThetaF=%.4f n_tri=%.4f "
-                "homo=%+.4f\n",
-                cell.dataset.c_str(), cell.model.c_str(), cell.epsilon,
+    std::printf("%-10s %-14s %-12s eps=%-6.3f KS_S=%.4f H_ThetaF=%.4f "
+                "n_tri=%.4f homo=%+.4f\n",
+                cell.dataset.c_str(), cell.mechanism.c_str(),
+                cell.model.c_str(), cell.epsilon,
                 eval::MetricMean(cell.metrics, "degree_ks"),
                 eval::MetricMean(cell.metrics, "theta_f_hellinger"),
                 eval::MetricMean(cell.metrics, "triangles_re"),
@@ -729,10 +772,21 @@ int CmdRegistry(const util::Flags& flags) {
                   static_cast<unsigned long long>(row.artifacts));
     }
     for (const registry::ArtifactRow& row : reg.List()) {
-      std::printf("%-16s %-16s model=%-10s eps=%.4f key=%llu\n",
-                  row.dataset.c_str(), row.name.c_str(), row.model.c_str(),
-                  row.epsilon,
+      std::printf("%-16s %-16s mechanism=%-14s model=%-10s eps=%.4f "
+                  "key=%llu\n",
+                  row.dataset.c_str(), row.name.c_str(),
+                  row.mechanism.c_str(), row.model.c_str(), row.epsilon,
                   static_cast<unsigned long long>(row.release_key));
+    }
+    // Per-config fingerprint history: every release ever bound, in bind
+    // order, so superseded (gc'd) lineage stays visible.
+    for (const registry::HistoryRow& row : reg.History()) {
+      std::printf("history %-16s %-16s mechanism=%-14s fingerprint=%llu "
+                  "eps=%.4f %s\n",
+                  row.dataset.c_str(), row.name.c_str(),
+                  row.mechanism.c_str(),
+                  static_cast<unsigned long long>(row.config_fingerprint),
+                  row.epsilon, row.live ? "live" : "superseded");
     }
     const registry::RegistryStats stats = reg.Stats();
     std::printf("journal: %llu bytes, %llu records replayed",

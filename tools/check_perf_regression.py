@@ -37,6 +37,11 @@ REQUIRED_TRUE_FLAGS = [
     # to byte-identical files and recover identical spend — the contract
     # crash recovery depends on.
     "registry_deterministic",
+    # Release-mechanism registry (PR 10): refitting community_dp /
+    # kanon_baseline from the same substream must reproduce the artifact
+    # byte for byte, and engines at different pool sizes must serve
+    # bitwise-identical samples.
+    "mechanisms_deterministic",
 ]
 REQUIRED_KEYS = [
     "hardware_concurrency",
@@ -53,6 +58,8 @@ REQUIRED_KEYS = [
     # Artifact registry (PR 9): journaled puts (fsync on/off), recovery
     # replay at Open, checkpoint compaction, resolves.
     "registry_seconds",
+    # Release mechanisms (PR 10): fit + 8-sample batch per non-AGM scheme.
+    "mechanisms_seconds",
 ]
 
 # The headline properties, gated machine-independently: each ratio compares
